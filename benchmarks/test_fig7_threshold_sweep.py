@@ -1,0 +1,100 @@
+"""Figure 7: start-valve threshold sensitivity (K-means, GC, NN).
+
+Paper shapes: as the threshold decreases, execution time decreases for
+all applications and accuracy drops for GC and NN while K-means'
+accuracy is insensitive; larger inputs are more sensitive to threshold
+modulation.
+"""
+
+import numpy as np
+
+from repro.apps.graph_coloring import GraphColoringApp
+from repro.apps.kmeans import KMeansApp
+from repro.apps.neural_network import NeuralNetworkApp
+from repro.bench import render_series
+from repro.workloads import random_graph, synthetic_digits, synthetic_image
+
+THRESHOLDS = [0.2, 0.4, 0.6, 0.8, 1.0]
+
+
+def sweep(app_factory, thresholds=THRESHOLDS):
+    app = app_factory()
+    precise = app.run_precise()
+    latencies, accuracies = [], []
+    for threshold in thresholds:
+        fluid = app.run_fluid(threshold=threshold)
+        latencies.append(fluid.makespan / precise.makespan)
+        accuracies.append(fluid.accuracy)
+    return latencies, accuracies
+
+
+def test_fig7_kmeans(report, run_once):
+    def work():
+        small = sweep(lambda: KMeansApp(
+            synthetic_image(32, 32, diversity=6, seed=41),
+            num_clusters=5, epochs=5))
+        large = sweep(lambda: KMeansApp(
+            synthetic_image(64, 64, diversity=6, seed=41),
+            num_clusters=5, epochs=5))
+        return small, large
+
+    (lat_s, acc_s), (lat_l, acc_l) = run_once(work)
+    report("fig7_kmeans", render_series(
+        "Figure 7 (K-means): threshold sweep",
+        "threshold", THRESHOLDS,
+        {"latency(small)": lat_s, "accuracy(small)": acc_s,
+         "latency(large)": lat_l, "accuracy(large)": acc_l}))
+    # Latency never increases as the threshold decreases.
+    assert lat_s[0] <= lat_s[-1] + 1e-6
+    assert lat_l[0] <= lat_l[-1] + 1e-6
+    # K-means accuracy is comparatively insensitive (stays high).
+    assert min(acc_s[1:]) > 0.9
+
+
+def test_fig7_graph_coloring(report, run_once):
+    def work():
+        small = sweep(lambda: GraphColoringApp(
+            random_graph(1000, 12000, seed=43, name="1K_12K")))
+        large = sweep(lambda: GraphColoringApp(
+            random_graph(2000, 24000, seed=43, name="2K_24K")))
+        return small, large
+
+    (lat_s, acc_s), (lat_l, acc_l) = run_once(work)
+    report("fig7_graph_coloring", render_series(
+        "Figure 7 (Graph Coloring): threshold sweep",
+        "threshold", THRESHOLDS,
+        {"latency(small)": lat_s, "accuracy(small)": acc_s,
+         "latency(large)": lat_l, "accuracy(large)": acc_l}))
+    assert lat_s[0] < lat_s[-1]
+    assert lat_l[0] < lat_l[-1]
+    # Full threshold is exact.
+    assert acc_s[-1] == 1.0 and acc_l[-1] == 1.0
+
+
+def test_fig7_neural_network(report, run_once):
+    dataset_small = synthetic_digits(samples=128, features=196, seed=47)
+    dataset_large = synthetic_digits(samples=512, features=196, seed=47)
+
+    def work():
+        small = sweep(lambda: NeuralNetworkApp(dataset_small,
+                                               architecture="lenet"))
+        large = sweep(lambda: NeuralNetworkApp(dataset_large,
+                                               architecture="vgg"))
+        return small, large
+
+    (lat_s, acc_s), (lat_l, acc_l) = run_once(work)
+    report("fig7_neural_network", render_series(
+        "Figure 7 (NN): threshold sweep",
+        "threshold", THRESHOLDS,
+        {"latency(lenet)": lat_s, "accuracy(lenet)": acc_s,
+         "latency(vgg)": lat_l, "accuracy(vgg)": acc_l}))
+    assert lat_s[0] < lat_s[-1]
+    assert lat_l[0] < lat_l[-1]
+    # Accuracy can only degrade as the threshold decreases.
+    assert acc_l[0] <= acc_l[-1] + 1e-9
+    # Several operating points give speedups without accuracy loss
+    # ("the programmer may find several operation points with a
+    # significant speedup boost without much accuracy drop").
+    sweet = [lat for lat, acc in zip(lat_s, acc_s)
+             if acc > 0.99 and lat < 0.95]
+    assert sweet, "expected sweet-spot operating points"

@@ -1,0 +1,101 @@
+"""Input sensitivity (the Section-7.2 claims, on a finer grid).
+
+* graph apps: "Fluid achieves better speedups on dense graphs than on
+  sparse", at two vertex scales;
+* FFT / DCT / MedusaDock: "larger input sizes lead to better results";
+* threshold sensitivity grows with input size (Section 7.3, Figure 7).
+"""
+
+import numpy as np
+
+from repro.apps.bellman_ford import BellmanFordApp
+from repro.apps.dct import DCTApp
+from repro.apps.fft import FFTApp
+from repro.apps.graph_coloring import GraphColoringApp
+from repro.apps.medusadock import MedusaDockApp
+from repro.bench import render_table
+from repro.workloads import (random_graph, random_tensor, random_vector,
+                             synthetic_poses)
+
+
+def latency(app, **kwargs):
+    precise = app.run_precise()
+    fluid = app.run_fluid(**kwargs)
+    return fluid.makespan / precise.makespan
+
+
+def test_graph_density_grid(report, run_once):
+    def work():
+        rows = []
+        for vertices in (1000, 2000):
+            for degree in (4, 8, 16):
+                edges = vertices * degree
+                name = f"{vertices}V_deg{degree}"
+                gc = GraphColoringApp(random_graph(vertices, edges,
+                                                   seed=103, name=name))
+                rows.append(["graph_coloring", name, degree,
+                             latency(gc)])
+        return rows
+
+    rows = run_once(work)
+    report("sensitivity_graph_density", render_table(
+        "Input sensitivity: graph coloring over a size x density grid",
+        ["app", "input", "avg degree", "norm latency"], rows))
+    # Densest beats sparsest at each scale (the paper's density claim).
+    for vertices in (1000, 2000):
+        grid = {row[2]: row[3] for row in rows
+                if row[1].startswith(f"{vertices}V")}
+        assert grid[16] <= grid[4] + 0.02
+
+
+def test_payload_size_scaling(report, run_once):
+    def work():
+        rows = []
+        for length in (512, 2048, 8192):
+            fft = FFTApp([random_vector(length, seed=107)])
+            rows.append(["fft", f"N{length}", latency(fft)])
+        for side in (48, 96):
+            dct = DCTApp(random_tensor(side, side, seed=107))
+            rows.append(["dct", f"{side}x{side}", latency(dct)])
+        for poses in (32, 128):
+            dockings = [synthetic_poses(num_poses=poses, seed=s,
+                                        name=f"p{s}") for s in range(4)]
+            md = MedusaDockApp(dockings)
+            rows.append(["medusadock", f"{poses}poses",
+                         latency(md, valve="convergence")])
+        return rows
+
+    rows = run_once(work)
+    report("sensitivity_payload_size", render_table(
+        "Input sensitivity: payload size ('larger input sizes lead to "
+        "better results')",
+        ["app", "input", "norm latency"], rows))
+    by_key = {(row[0], row[1]): row[2] for row in rows}
+    assert by_key[("fft", "N8192")] <= by_key[("fft", "N512")] + 0.02
+    assert by_key[("medusadock", "128poses")] <= \
+        by_key[("medusadock", "32poses")] + 0.02
+
+
+def test_threshold_sensitivity_grows_with_input(report, run_once):
+    """Larger inputs: the latency swing across the threshold range is at
+    least as large as for small inputs (framework overheads amortize)."""
+
+    def swing(app):
+        precise = app.run_precise()
+        low = app.run_fluid(threshold=0.2).makespan / precise.makespan
+        high = app.run_fluid(threshold=1.0).makespan / precise.makespan
+        return high - low
+
+    def work():
+        small = swing(GraphColoringApp(
+            random_graph(800, 6400, seed=109, name="small")))
+        large = swing(GraphColoringApp(
+            random_graph(2000, 24000, seed=109, name="large")))
+        return small, large
+
+    small, large = run_once(work)
+    report("sensitivity_threshold_swing", render_table(
+        "Input sensitivity: latency swing across thresholds (GC)",
+        ["input", "swing (lat@1.0 - lat@0.2)"],
+        [["small (800V/6.4K)", small], ["large (2K/24K)", large]]))
+    assert large >= small - 0.05

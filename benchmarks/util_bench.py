@@ -1,0 +1,96 @@
+"""Shared helpers for the ablation benchmarks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import FluidApp, SubmitPlan
+from repro.core.region import FluidRegion
+from repro.core.valves import PercentValve
+
+
+class _RacingRegion(FluidRegion):
+    """A producer/consumer pair where the consumer is much faster, so an
+    aggressive threshold guarantees quality failures and re-executions —
+    the stress case for threshold modulation."""
+
+    def __init__(self, app, stage, source_box, name=None):
+        self.app = app
+        self.stage = stage
+        self.source_box = source_box
+        super().__init__(name or f"race_{stage}_{id(source_box) % 9973}")
+
+    def build(self):
+        n = self.app.n
+        src = self.input_data("src", None)
+        mid = self.add_array("mid", [0] * n)
+        out = self.add_array("out", [0] * n)
+        ct = self.add_count("ct")
+        box = self.source_box
+
+        def produce(ctx):
+            src.init(list(box[0]))
+            src.mark_input()
+            values = src.read()
+            for i in range(n):
+                mid[i] = values[i] + 1
+                ct.add()
+                yield 4.0
+
+        def consume(ctx):
+            for i in range(n):
+                out[i] = mid[i] * 2
+                yield 0.4
+            box[0] = list(out.read())
+
+        # Regions build lazily at launch: later epochs see the failure
+        # pressure earlier epochs accumulated and start less eagerly.
+        threshold = self.app.threshold_box[0]
+        modulation = self.app.active_modulation
+        if modulation is not None:
+            threshold = min(1.0, modulation.adjust(threshold))
+        self.add_task("produce", produce, outputs=[mid])
+        self.add_task("consume", consume,
+                      start_valves=[PercentValve(ct, threshold, n)],
+                      end_valves=[PercentValve(ct, 1.0, n)],
+                      inputs=[mid], outputs=[out])
+
+
+class RacingPipelineApp(FluidApp):
+    """A chain of racing regions: modulation has epochs to act across."""
+
+    name = "racing_pipeline"
+    default_threshold = 0.2
+
+    def __init__(self, n=120, stages=5):
+        super().__init__()
+        self.n = n
+        self.stages = stages
+        self.threshold_box = [0.2]
+
+    def build_regions(self, threshold, valve, parallelism) -> SubmitPlan:
+        self.threshold_box[0] = threshold
+        source_box = [list(range(self.n))]
+        plan = SubmitPlan()
+        for stage in range(self.stages):
+            plan.add_region(_RacingRegion(self, stage, source_box))
+        plan.extras["box"] = source_box
+        return plan
+
+    def extract_output(self, plan):
+        return list(plan.extras["box"][0])
+
+    def compute_error(self, output, precise_output):
+        if output == precise_output:
+            return 0.0
+        diffs = np.abs(np.array(output, dtype=float)
+                       - np.array(precise_output, dtype=float))
+        scale = np.abs(np.array(precise_output, dtype=float)).mean() or 1.0
+        return float(min(1.0, diffs.mean() / scale))
+
+    def compute_metric(self, output):
+        return ("checksum", float(sum(output)))
+
+
+def racing_pipeline_app():
+    return RacingPipelineApp()

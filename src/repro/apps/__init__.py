@@ -1,0 +1,37 @@
+"""The eight evaluation applications (paper Table 2), fluidized.
+
+Each module provides the precise kernels, a fluid region construction,
+and the :class:`~repro.apps.base.FluidApp` protocol the benchmark
+harness consumes.  The pragma-annotated FluidPy source of each app
+lives in ``fluidsrc/``.
+"""
+
+from .base import (AppRun, DEFAULT_OVERHEADS, FluidApp, PAPER_CORES,
+                   SubmitPlan)
+from .bellman_ford import BellmanFordApp
+from .dct import DCTApp
+from .edge_detection import EdgeDetectionApp
+from .fft import FFTApp
+from .graph_coloring import GraphColoringApp
+from .kmeans import KMeansApp
+from .medusadock import MedusaDockApp
+from .neural_network import NeuralNetworkApp
+
+ALL_APPS = {
+    "edge_detection": EdgeDetectionApp,
+    "kmeans": KMeansApp,
+    "bellman_ford": BellmanFordApp,
+    "graph_coloring": GraphColoringApp,
+    "fft": FFTApp,
+    "dct": DCTApp,
+    "neural_network": NeuralNetworkApp,
+    "medusadock": MedusaDockApp,
+}
+
+__all__ = [
+    "AppRun", "DEFAULT_OVERHEADS", "FluidApp", "PAPER_CORES",
+    "SubmitPlan", "ALL_APPS",
+    "BellmanFordApp", "DCTApp", "EdgeDetectionApp", "FFTApp",
+    "GraphColoringApp", "KMeansApp", "MedusaDockApp",
+    "NeuralNetworkApp",
+]

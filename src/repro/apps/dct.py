@@ -1,0 +1,195 @@
+"""DCT: cosine-basis producer -> blockwise sum consumers.
+
+The paper's other class-4 graph, on the multi-consumer side: one
+producer evaluates the 2-D DCT-II cosine basis (an 8x8 block transform,
+64x64 = 4096 series-evaluated entries) and *two* consumer tasks
+("calculate sum", Table 2) apply it to disjoint halves of the image
+blocks, each with its own start condition on the shared basis table.
+
+As with FFT, the basis is pre-filled with a cheap parabolic cosine so
+eager consumers work with approximate coefficients; larger tensors gain
+more because the summation payload grows with the block count while the
+basis cost is fixed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+import numpy as np
+
+from ..core.region import FluidRegion
+from ..core.valves import DataFinalValve, PercentValve
+from ..metrics.error import normalized_mse
+from .base import FluidApp, SubmitPlan
+from .fft import SERIES_TERMS, _crude_sin, _series_sin
+
+BLOCK = 8
+BASIS_ENTRIES = (BLOCK * BLOCK) ** 2
+BASIS_COST_PER_ENTRY = 4.0 * SERIES_TERMS
+SUM_COST_PER_BLOCK = float(BLOCK ** 4)  # dense 64x64 basis apply per block
+BASIS_CHUNK = 128
+
+
+def _series_cos(x: float) -> float:
+    return _series_sin(x + math.pi / 2.0)
+
+
+def _crude_cos(x: float) -> float:
+    return _crude_sin(x + math.pi / 2.0)
+
+
+def dct_basis_reference() -> np.ndarray:
+    k = np.arange(BLOCK)
+    n = np.arange(BLOCK)
+    basis = np.cos(math.pi * (2.0 * n[None, :] + 1.0) * k[:, None]
+                   / (2.0 * BLOCK))
+    basis[0] *= 1.0 / math.sqrt(2.0)
+    return basis * math.sqrt(2.0 / BLOCK)
+
+
+def dct2_blocks_reference(tensor: np.ndarray) -> np.ndarray:
+    """Precise blockwise 2-D DCT-II (for kernel validation)."""
+    basis = dct_basis_reference()
+    out = np.zeros_like(tensor)
+    for by in range(0, tensor.shape[0], BLOCK):
+        for bx in range(0, tensor.shape[1], BLOCK):
+            block = tensor[by:by + BLOCK, bx:bx + BLOCK]
+            out[by:by + BLOCK, bx:bx + BLOCK] = basis @ block @ basis.T
+    return out
+
+
+class DCTRegion(FluidRegion):
+    """header -> basis -> (sum_lo, sum_hi) leaves."""
+
+    def __init__(self, app: "DCTApp", threshold: float, name=None):
+        self.app = app
+        self.threshold = threshold
+        super().__init__(name)
+
+    def build(self):
+        app = self.app
+        tensor = app.tensor
+        src = self.input_data("src", tensor)
+        ready = self.add_data("ready")
+        basis_cell = self.add_array("basis", None)
+        ct = self.add_count("ct_basis")
+
+        scale = math.sqrt(2.0 / BLOCK)
+        crude = np.zeros((BLOCK, BLOCK))
+        for k in range(BLOCK):
+            for n in range(BLOCK):
+                value = _crude_cos(math.pi * (2 * n + 1) * k / (2 * BLOCK))
+                if k == 0:
+                    value /= math.sqrt(2.0)
+                crude[k, n] = value * scale
+        basis_cell.init(None)  # re-bound to basis2 below
+
+        def header(ctx):
+            ready.write(True)
+            yield 16.0
+
+        self.add_task("header", header, inputs=[src], outputs=[ready])
+
+        # The full 2-D basis: B2[(k,l),(m,n)] = b[k,m] * b[l,n], 4096
+        # series-evaluated entries ("Cos value" producer, Table 2).
+        flat = BLOCK * BLOCK
+        basis2 = np.zeros((flat, flat))
+        for row in range(flat):
+            k, l = divmod(row, BLOCK)
+            for col in range(flat):
+                m, n = divmod(col, BLOCK)
+                basis2[row, col] = crude[k, m] * crude[l, n]
+        total_entries = BASIS_ENTRIES
+
+        def basis_body(ctx):
+            produced = 0
+            for row in range(flat):
+                k, l = divmod(row, BLOCK)
+                row_k = np.empty(BLOCK)
+                row_l = np.empty(BLOCK)
+                for m in range(BLOCK):
+                    value = _series_cos(
+                        math.pi * (2 * m + 1) * k / (2 * BLOCK))
+                    if k == 0:
+                        value /= math.sqrt(2.0)
+                    row_k[m] = value * scale
+                for n in range(BLOCK):
+                    value = _series_cos(
+                        math.pi * (2 * n + 1) * l / (2 * BLOCK))
+                    if l == 0:
+                        value /= math.sqrt(2.0)
+                    row_l[n] = value * scale
+                basis2[row] = np.outer(row_k, row_l).ravel()
+                produced += flat
+                basis_cell.touch()
+                ct.add(flat)
+                yield BASIS_COST_PER_ENTRY * flat
+
+        basis_cell.init(basis2)
+        self.add_task("basis", basis_body,
+                      start_valves=[DataFinalValve(ready)],
+                      inputs=[ready], outputs=[basis_cell])
+
+        out = np.zeros_like(tensor)
+        blocks = [(by, bx)
+                  for by in range(0, tensor.shape[0], BLOCK)
+                  for bx in range(0, tensor.shape[1], BLOCK)]
+        halves = [blocks[:len(blocks) // 2], blocks[len(blocks) // 2:]]
+
+        self._out = out
+        for index, half in enumerate(halves):
+            out_cell = self.add_array(f"coeff_{index}", out)
+
+            def sum_body(ctx, half=half, out_cell=out_cell):
+                for by, bx in half:
+                    block = tensor[by:by + BLOCK, bx:bx + BLOCK]
+                    coefficients = basis2 @ block.ravel()
+                    out[by:by + BLOCK, bx:bx + BLOCK] = \
+                        coefficients.reshape(BLOCK, BLOCK)
+                    out_cell.touch()
+                    yield SUM_COST_PER_BLOCK
+
+            self.add_task(
+                f"sum_{index}", sum_body,
+                start_valves=[PercentValve(ct, self.threshold, total_entries,
+                                           name=f"v_start_{index}")],
+                end_valves=[PercentValve(ct, 1.0, total_entries,
+                                         name=f"v_end_{index}")],
+                inputs=[basis_cell], outputs=[out_cell])
+
+    def coefficients(self) -> np.ndarray:
+        return self._out
+
+
+class DCTApp(FluidApp):
+    """Blockwise 2-D DCT of one tensor."""
+
+    name = "dct"
+
+    def __init__(self, tensor: np.ndarray):
+        super().__init__()
+        if tensor.shape[0] % BLOCK or tensor.shape[1] % BLOCK:
+            raise ValueError(f"tensor dimensions must be multiples of {BLOCK}")
+        self.tensor = np.asarray(tensor, dtype=float)
+
+    def build_regions(self, threshold: float, valve: str,
+                      parallelism: int) -> SubmitPlan:
+        plan = SubmitPlan()
+        region = DCTRegion(self, threshold)
+        plan.add_region(region)
+        plan.extras["region"] = region
+        return plan
+
+    def extract_output(self, plan: SubmitPlan) -> np.ndarray:
+        return plan.extras["region"].coefficients().copy()
+
+    def compute_error(self, output, precise_output) -> float:
+        return min(1.0, normalized_mse(output, precise_output))
+
+    def compute_metric(self, output):
+        if self._precise is None:
+            return ("normalized_mse", 0.0)
+        return ("normalized_mse",
+                normalized_mse(output, self._precise.output))

@@ -1,0 +1,174 @@
+"""Edge Detection: noise-removal filter -> gradient filter (Section 4.3).
+
+The paper's running example.  The producer smooths the image (Gaussian
+or Mean 3x3), the consumer extracts edges (Sobel or Laplacian); the
+consumer may start once a fraction of the rows have been smoothed and
+reads the *unsmoothed* pixels for rows the producer has not reached —
+exactly the semantics of Figure 3 (the work buffer starts as a copy of
+the noisy input).  The end valve demands the whole image smoothed before
+the gradient pass finishes, triggering re-execution when the consumer
+races too far ahead ("if only a few pixels are smoothed ... the result
+is inaccurate and t2 is re-executed").
+
+The four filter combinations of Figure 9 are the ``noise_filter`` x
+``gradient`` parameters; multithreading (Figure 12) splits the image
+into row bands fanned out under a header task.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..core.region import FluidRegion
+from ..core.valves import DataFinalValve, PercentValve
+from ..metrics.error import normalized_mse, psnr
+from .base import FluidApp, SubmitPlan
+
+GAUSSIAN = np.array([[1, 2, 1], [2, 4, 2], [1, 2, 1]], dtype=float) / 16.0
+MEAN = np.ones((3, 3)) / 9.0
+SOBEL_X = np.array([[-1, 0, 1], [-2, 0, 2], [-1, 0, 1]], dtype=float)
+SOBEL_Y = SOBEL_X.T
+LAPLACIAN = np.array([[0, 1, 0], [1, -4, 1], [0, 1, 0]], dtype=float)
+
+#: per-pixel virtual costs: Gaussian is heavier than Mean, Sobel heavier
+#: than Laplacian ("Laplacian runs faster than Sobel", Section 7.3).
+FILTER_COST = {"gaussian": 9.0, "mean": 5.0}
+GRADIENT_COST = {"sobel": 18.0, "laplacian": 4.0}
+
+
+def conv3x3_row(image: np.ndarray, row: int, kernel: np.ndarray) -> np.ndarray:
+    """One output row of a clamped-border 3x3 convolution."""
+    height, width = image.shape
+    out = np.zeros(width)
+    for dy in (-1, 0, 1):
+        source = image[min(max(row + dy, 0), height - 1)]
+        padded = np.concatenate(([source[0]], source, [source[-1]]))
+        for dx in (-1, 0, 1):
+            out += kernel[dy + 1, dx + 1] * padded[1 + dx:1 + dx + width]
+    return out
+
+
+def gradient_row(image: np.ndarray, row: int, gradient: str) -> np.ndarray:
+    if gradient == "sobel":
+        gx = conv3x3_row(image, row, SOBEL_X)
+        gy = conv3x3_row(image, row, SOBEL_Y)
+        return np.abs(gx) + np.abs(gy)
+    return np.abs(conv3x3_row(image, row, LAPLACIAN))
+
+
+class EdgeDetectionRegion(FluidRegion):
+    """One fluid region over the whole image (or one band fan-out)."""
+
+    def __init__(self, app: "EdgeDetectionApp", threshold: float,
+                 parallelism: int, name=None):
+        self.app = app
+        self.threshold = threshold
+        self.parallelism = parallelism
+        super().__init__(name)
+
+    def build(self):
+        app = self.app
+        height, width = app.image.shape
+        pixels = height * width
+        src = self.input_data("src", app.image)
+        ready = self.add_data("ready")
+        work = app.image.copy()       # smoothed in place; starts noisy
+        edges = np.zeros_like(app.image)
+
+        bands = self._bands(height)
+        filter_cost = FILTER_COST[app.noise_filter]
+        gradient_cost = GRADIENT_COST[app.gradient]
+        kernel = GAUSSIAN if app.noise_filter == "gaussian" else MEAN
+
+        def header(ctx):
+            ready.write(True)
+            yield 32.0
+
+        self.add_task("header", header, inputs=[src], outputs=[ready])
+
+        self._edge_cells = []
+        for band_index, (start, stop) in enumerate(bands):
+            band_rows = stop - start
+            filtered = self.add_array(f"filtered_{band_index}", work)
+            out_cell = self.add_array(f"edges_{band_index}", edges)
+            ct = self.add_count(f"ct_{band_index}")
+            band_pixels = band_rows * width
+
+            def filter_body(ctx, start=start, stop=stop, ct=ct,
+                            filtered=filtered):
+                source = src.read()
+                for row in range(start, stop):
+                    smoothed = conv3x3_row(source, row, kernel)
+                    work[row] = smoothed
+                    filtered.touch()
+                    ct.add(width)
+                    yield filter_cost * width
+
+            def gradient_body(ctx, start=start, stop=stop,
+                              out_cell=out_cell):
+                for row in range(start, stop):
+                    edges[row] = gradient_row(work, row, app.gradient)
+                    out_cell.touch()
+                    yield gradient_cost * width
+
+            self.add_task(
+                f"filter_{band_index}", filter_body,
+                start_valves=[DataFinalValve(ready)],
+                inputs=[ready], outputs=[filtered])
+            self.add_task(
+                f"gradient_{band_index}", gradient_body,
+                start_valves=[PercentValve(ct, self.threshold, band_pixels,
+                                           name=f"v_start_{band_index}")],
+                end_valves=[PercentValve(ct, 1.0, band_pixels,
+                                         name=f"v_end_{band_index}")],
+                inputs=[filtered], outputs=[out_cell])
+            self._edge_cells.append(out_cell)
+
+        self._edges = edges
+
+    def _bands(self, height: int) -> List:
+        parallelism = min(self.parallelism, height)
+        bounds = np.linspace(0, height, parallelism + 1).astype(int)
+        return [(int(bounds[i]), int(bounds[i + 1]))
+                for i in range(parallelism) if bounds[i + 1] > bounds[i]]
+
+    def edge_map(self) -> np.ndarray:
+        return self._edges
+
+
+class EdgeDetectionApp(FluidApp):
+    """Edge detection on one image with configurable filter chain."""
+
+    name = "edge_detection"
+
+    def __init__(self, image: np.ndarray, noise_filter: str = "gaussian",
+                 gradient: str = "sobel"):
+        super().__init__()
+        if noise_filter not in FILTER_COST:
+            raise ValueError(f"unknown noise filter {noise_filter!r}")
+        if gradient not in GRADIENT_COST:
+            raise ValueError(f"unknown gradient filter {gradient!r}")
+        self.image = np.asarray(image, dtype=float)
+        self.noise_filter = noise_filter
+        self.gradient = gradient
+
+    def build_regions(self, threshold: float, valve: str,
+                      parallelism: int) -> SubmitPlan:
+        plan = SubmitPlan()
+        region = EdgeDetectionRegion(self, threshold, parallelism)
+        plan.add_region(region)
+        plan.extras["region"] = region
+        return plan
+
+    def extract_output(self, plan: SubmitPlan) -> np.ndarray:
+        return plan.extras["region"].edge_map().copy()
+
+    def compute_error(self, output: np.ndarray,
+                      precise_output: np.ndarray) -> float:
+        return min(1.0, normalized_mse(output, precise_output))
+
+    def compute_metric(self, output: np.ndarray):
+        precise = self._precise.output if self._precise is not None else output
+        return ("psnr_db", psnr(output, precise))

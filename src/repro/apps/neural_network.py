@@ -1,0 +1,219 @@
+"""Neural network inference: a fluidized layer chain (LeNet / VGG role).
+
+The paper's class-3 graph: "start next layer before all feature
+calculated" (Table 2).  Layer ``k+1`` begins once a fraction of layer
+``k``'s activations are computed; unreached batch rows still hold zeros,
+so racing too far misclassifies those samples until re-execution (or the
+quality bar) repairs them.
+
+Three networks stand in for the paper's models (see DESIGN.md):
+
+* ``lenet`` — small 4-layer MLP (the Mnist/LeNet role);
+* ``vgg``   — a much wider 4-layer MLP (the ImageNet/VGG role: deeper
+  payload, approximation hurts accuracy more);
+* ``squeezed`` — the ``lenet`` topology with factorized, 4x-narrower
+  hidden layers: an *already approximate* network playing Squeezenet's
+  part in the composition study (Figure 10).
+
+The logits layer is gated on its complete input (it is tiny and would
+race unboundedly); the interior layers carry the swept threshold, and
+the leaf's quality function checks that layer 1 covered (almost) the
+whole batch by prediction time.  Interior layers whose producer finished
+while they ran re-execute per Section 6.1; those re-executions become
+pointless once the logits are accepted and are early-terminated — the
+same phenomenon as the paper's Table-3 NN row, where upper layers stall
+in W and a still-running layer is terminated when the last layer
+finishes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..core.region import FluidRegion
+from ..core.valves import PercentValve
+from ..metrics.error import normalized_accuracy, prediction_agreement
+from ..workloads.mnist import DigitDataset
+from .base import FluidApp, SubmitPlan
+
+#: (hidden-layer widths, input pooling factor) per network variant.
+#: Widths are chosen so successive layers' per-row costs shrink gently:
+#: consumers only outrace producers when the start threshold is small,
+#: which is what makes the Figure-7 accuracy curve bend down at low
+#: thresholds instead of collapsing everywhere.  ``squeezed`` pools the
+#: input 2x and narrows every layer — the already-approximate network of
+#: the Figure-10 composition study.
+ARCHITECTURES: Dict[str, Tuple[List[int], int]] = {
+    "lenet": ([288, 256, 224], 1),
+    "vgg": ([768, 640, 512], 1),
+    "squeezed": ([144, 128, 112], 2),
+}
+
+ROW_CHUNK = 16
+MAC_COST = 1.0 / 64.0   # virtual cost per multiply-accumulate (scaled)
+
+
+class NNRegion(FluidRegion):
+    """layer1 -> layer2 -> layer3 -> layer4 (leaf, quality on layer3)."""
+
+    def __init__(self, app: "NeuralNetworkApp", batch: np.ndarray,
+                 threshold: float, name=None):
+        self.app = app
+        self.batch = batch
+        self.threshold = threshold
+        super().__init__(name)
+
+    def build(self):
+        app = self.app
+        batch = self.batch
+        rows = len(batch)
+        src = self.input_data("src", batch)
+        weights = app.weights
+        dims = app.layer_dims
+        activations = [batch] + [
+            np.zeros((rows, dim)) for dim in dims[1:]]
+        self._logits = activations[-1]
+
+        previous_cell = src
+        previous_count = None
+        first_count = None
+        num_layers = len(weights)
+        for layer in range(num_layers):
+            w, b = weights[layer]
+            out_cell = self.add_array(f"acts_{layer + 1}",
+                                      activations[layer + 1])
+            ct = self.add_count(f"rows_{layer + 1}")
+            cost_per_row = MAC_COST * dims[layer] * dims[layer + 1]
+            is_last = layer == num_layers - 1
+
+            def layer_body(ctx, layer=layer, w=w, b=b, ct=ct,
+                           out_cell=out_cell, is_last=is_last,
+                           cost_per_row=cost_per_row):
+                source = activations[layer]
+                target = activations[layer + 1]
+                for start in range(0, rows, ROW_CHUNK):
+                    stop = min(start + ROW_CHUNK, rows)
+                    pre = source[start:stop] @ w + b
+                    target[start:stop] = pre if is_last else \
+                        np.maximum(pre, 0.0)
+                    out_cell.touch()
+                    ct.add(stop - start)
+                    yield cost_per_row * (stop - start)
+
+            start_valves = []
+            if previous_count is not None:
+                # The logits layer is tiny and races unboundedly, so it
+                # waits for its full input; the interior layers carry the
+                # swept threshold.
+                fraction = 1.0 if is_last else self.threshold
+                start_valves = [PercentValve(
+                    previous_count, fraction, rows,
+                    name=f"v_start_{layer + 1}")]
+            end_valves = []
+            if is_last:
+                end_valves = [PercentValve(
+                    first_count, app.quality_fraction, rows,
+                    name="v_quality")]
+            self.add_task(f"layer{layer + 1}", layer_body,
+                          start_valves=start_valves, end_valves=end_valves,
+                          inputs=[previous_cell], outputs=[out_cell])
+            previous_cell = out_cell
+            previous_count = ct
+            if first_count is None:
+                first_count = ct
+
+    def logits(self) -> np.ndarray:
+        return self._logits
+
+
+class NeuralNetworkApp(FluidApp):
+    """Batch inference over a digit dataset with a planted-teacher model.
+
+    The model is fit in closed form (one ridge-regression step from
+    inputs to one-hot labels, then split across the hidden layers by
+    seeded random projections), giving a deterministic network whose
+    precise accuracy is high — so approximation-induced accuracy drops
+    are attributable to fluidization alone.
+    """
+
+    name = "neural_network"
+
+    def __init__(self, dataset: DigitDataset, architecture: str = "lenet",
+                 batch_size: int = 128, seed: int = 0,
+                 quality_fraction: float = 0.95):
+        super().__init__()
+        if architecture not in ARCHITECTURES:
+            raise ValueError(f"unknown architecture {architecture!r}; "
+                             f"have {sorted(ARCHITECTURES)}")
+        self.dataset = dataset
+        self.architecture = architecture
+        self.batch_size = batch_size
+        self.seed = seed
+        self.quality_fraction = quality_fraction
+        hidden, self.pool = ARCHITECTURES[architecture]
+        features = dataset.inputs.shape[1] // self.pool
+        self.layer_dims = [features] + hidden + [dataset.num_classes]
+        self.weights = self._fit_weights()
+
+    def pooled_inputs(self) -> np.ndarray:
+        """Stride-``pool`` feature subsampling (Squeezenet's downsizing)."""
+        if self.pool == 1:
+            return self.dataset.inputs
+        features = self.layer_dims[0] * self.pool
+        return self.dataset.inputs[:, :features].reshape(
+            len(self.dataset.inputs), self.layer_dims[0],
+            self.pool).mean(axis=2)
+
+    def _fit_weights(self) -> List[Tuple[np.ndarray, np.ndarray]]:
+        rng = np.random.default_rng(self.seed)
+        dims = self.layer_dims
+        weights = []
+        for layer in range(len(dims) - 1):
+            scale = np.sqrt(2.0 / dims[layer])
+            w = rng.normal(0.0, scale, size=(dims[layer], dims[layer + 1]))
+            b = np.zeros(dims[layer + 1])
+            weights.append((w, b))
+        # Calibrate the final layer in closed form so precise predictions
+        # track the labels: run the frozen random feature stack, then
+        # ridge-regress to one-hot targets.
+        acts = self.pooled_inputs()
+        for w, b in weights[:-1]:
+            acts = np.maximum(acts @ w + b, 0.0)
+        onehot = np.eye(self.dataset.num_classes)[self.dataset.labels]
+        gram = acts.T @ acts + 1e-3 * np.eye(acts.shape[1])
+        weights[-1] = (np.linalg.solve(gram, acts.T @ onehot),
+                       np.zeros(self.dataset.num_classes))
+        return weights
+
+    def build_regions(self, threshold: float, valve: str,
+                      parallelism: int) -> SubmitPlan:
+        plan = SubmitPlan()
+        regions = []
+        inputs = self.pooled_inputs()
+        for index, start in enumerate(range(0, len(inputs),
+                                            self.batch_size)):
+            batch = inputs[start:start + self.batch_size]
+            regions.append(NNRegion(self, batch, threshold,
+                                    name=f"nn_batch{index}_{id(plan) % 9973}"))
+        for start in range(0, len(regions), max(1, parallelism)):
+            plan.add_stage(regions[start:start + max(1, parallelism)])
+        plan.extras["regions"] = regions
+        return plan
+
+    def extract_output(self, plan: SubmitPlan) -> np.ndarray:
+        logits = np.vstack([region.logits()
+                            for region in plan.extras["regions"]])
+        return logits.argmax(axis=1)
+
+    def accuracy_vs_labels(self, predictions: np.ndarray) -> float:
+        return prediction_agreement(predictions, self.dataset.labels)
+
+    def compute_error(self, output, precise_output) -> float:
+        fluid_acc = self.accuracy_vs_labels(output)
+        precise_acc = self.accuracy_vs_labels(precise_output)
+        return min(1.0, normalized_accuracy(fluid_acc, precise_acc))
+
+    def compute_metric(self, output):
+        return ("accuracy", self.accuracy_vs_labels(output))

@@ -1,0 +1,8 @@
+"""Benchmark support: standard workloads, runners and table rendering."""
+
+from .harness import (BenchRow, bench_overheads, run_comparison,
+                      standard_suite)
+from .reporting import render_series, render_table
+
+__all__ = ["BenchRow", "bench_overheads", "run_comparison",
+           "standard_suite", "render_series", "render_table"]

@@ -1,0 +1,89 @@
+"""Standalone benchmark runner: ``python -m repro.bench``.
+
+Regenerates the Figure-6 headline table (and optionally a per-app
+threshold sweep) without pytest — handy for quick explorations::
+
+    python -m repro.bench                 # the Figure-6 matrix
+    python -m repro.bench --app kmeans    # just one app
+    python -m repro.bench --sweep kmeans  # threshold sweep for one app
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .harness import run_comparison, standard_suite
+from .reporting import render_series, render_table
+
+
+def run_figure6(only_app=None) -> int:
+    rows = []
+    for app_name, inputs in standard_suite().items():
+        if only_app and app_name != only_app:
+            continue
+        for input_name, factory in inputs.items():
+            row = run_comparison(factory(), input_name)
+            rows.append(row.as_list())
+            print(f"  ran {app_name}/{input_name}: "
+                  f"latency {row.normalized_latency:.3f}, "
+                  f"accuracy {row.normalized_accuracy:.3f}",
+                  file=sys.stderr)
+    if not rows:
+        print(f"unknown app {only_app!r}; have: "
+              f"{', '.join(standard_suite())}", file=sys.stderr)
+        return 1
+    latencies = [row[2] for row in rows]
+    accuracies = [row[3] for row in rows]
+    rows.append(["AVERAGE", "-", float(np.mean(latencies)),
+                 float(np.mean(accuracies)), ""])
+    print(render_table(
+        "Fluidized latency and accuracy, normalized to the original",
+        ["app", "input", "norm latency", "norm accuracy", "native"],
+        rows))
+    return 0
+
+
+def run_sweep(app_name: str, thresholds) -> int:
+    suite = standard_suite()
+    if app_name not in suite:
+        print(f"unknown app {app_name!r}; have: {', '.join(suite)}",
+              file=sys.stderr)
+        return 1
+    input_name, factory = next(iter(suite[app_name].items()))
+    app = factory()
+    precise = app.run_precise()
+    latencies, accuracies = [], []
+    for threshold in thresholds:
+        fluid = app.run_fluid(threshold=threshold)
+        latencies.append(fluid.makespan / precise.makespan)
+        accuracies.append(fluid.accuracy)
+    print(render_series(
+        f"Threshold sweep: {app_name} ({input_name})", "threshold",
+        thresholds, {"norm latency": latencies,
+                     "norm accuracy": accuracies}))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's headline numbers.")
+    parser.add_argument("--app", help="restrict to one application")
+    parser.add_argument("--sweep", metavar="APP",
+                        help="threshold sweep for one application")
+    parser.add_argument("--thresholds", default="0.2,0.4,0.6,0.8,1.0",
+                        help="comma-separated sweep thresholds")
+    args = parser.parse_args(argv)
+
+    if args.sweep:
+        thresholds = [float(token) for token in
+                      args.thresholds.split(",") if token]
+        return run_sweep(args.sweep, thresholds)
+    return run_figure6(args.app)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,157 @@
+"""Standard benchmark workloads and comparison runners.
+
+``standard_suite`` builds the application/input matrix of the paper's
+Figure 6 at repository scale (inputs sized so the whole benchmark run
+finishes in minutes on a laptop while preserving every sensitivity axis:
+graph density, image noise, vector size, network width, protein count).
+``run_comparison`` executes precise-vs-fluid for one app and returns a
+:class:`BenchRow` with the normalized numbers the figures plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..apps.base import DEFAULT_OVERHEADS, FluidApp
+from ..apps.bellman_ford import BellmanFordApp
+from ..apps.dct import DCTApp
+from ..apps.edge_detection import EdgeDetectionApp
+from ..apps.fft import FFTApp
+from ..apps.graph_coloring import GraphColoringApp
+from ..apps.kmeans import KMeansApp
+from ..apps.medusadock import MedusaDockApp
+from ..apps.neural_network import NeuralNetworkApp
+from ..workloads import (image_classes, random_graph, random_tensor,
+                         random_vector, synthetic_digits, synthetic_image,
+                         synthetic_poses)
+
+#: Per-app valve used for the headline Figure-6 numbers; MedusaDock's
+#: preferred valve is convergence (Section 7.3).
+HEADLINE_VALVE: Dict[str, str] = {"medusadock": "convergence"}
+
+
+@dataclass
+class BenchRow:
+    """One normalized latency/accuracy data point."""
+
+    app: str
+    input_name: str
+    normalized_latency: float
+    normalized_accuracy: float
+    native_metric: str
+    native_value: float
+    precise_makespan: float
+    fluid_makespan: float
+
+    def as_list(self) -> List:
+        return [self.app, self.input_name,
+                self.normalized_latency, self.normalized_accuracy,
+                f"{self.native_metric}={self.native_value:.4g}"]
+
+
+def run_comparison(app: FluidApp, input_name: str,
+                   threshold: Optional[float] = None,
+                   valve: Optional[str] = None,
+                   **fluid_kwargs) -> BenchRow:
+    """Run precise and fluid once; return the normalized row."""
+    if valve is None:
+        valve = HEADLINE_VALVE.get(app.name, "percent")
+    precise = app.run_precise()
+    fluid = app.run_fluid(threshold=threshold, valve=valve, **fluid_kwargs)
+    return BenchRow(
+        app=app.name,
+        input_name=input_name,
+        normalized_latency=fluid.makespan / precise.makespan,
+        normalized_accuracy=fluid.accuracy,
+        native_metric=fluid.metric_name,
+        native_value=fluid.metric,
+        precise_makespan=precise.makespan,
+        fluid_makespan=fluid.makespan)
+
+
+# --------------------------------------------------------------- factories
+
+def kmeans_inputs() -> Dict[str, Callable[[], FluidApp]]:
+    """Three pixel-diversity classes (the paper's three input images)."""
+    return {
+        f"div{diversity}": (lambda diversity=diversity: KMeansApp(
+            synthetic_image(40, 40, diversity=diversity, noise=6.0,
+                            seed=diversity),
+            num_clusters=max(3, diversity), epochs=6))
+        for diversity in (3, 6, 9)
+    }
+
+
+def bellman_ford_inputs() -> Dict[str, Callable[[], FluidApp]]:
+    """Size x density grid (the paper's 1K_200K ... 5K_2M axis)."""
+    shapes = {"1K_4K": (1000, 4000), "1K_16K": (1000, 16000),
+              "2K_8K": (2000, 8000), "2K_32K": (2000, 32000)}
+    return {name: (lambda n=n, m=m, name=name: BellmanFordApp(
+        random_graph(n, m, seed=13, name=name), iterations=8))
+        for name, (n, m) in shapes.items()}
+
+
+def graph_coloring_inputs() -> Dict[str, Callable[[], FluidApp]]:
+    shapes = {"1K_4K": (1000, 4000), "1K_12K": (1000, 12000),
+              "2K_8K": (2000, 8000), "2K_24K": (2000, 24000)}
+    return {name: (lambda n=n, m=m, name=name: GraphColoringApp(
+        random_graph(n, m, seed=17, name=name)))
+        for name, (n, m) in shapes.items()}
+
+
+def edge_detection_inputs() -> Dict[str, Callable[[], FluidApp]]:
+    classes = image_classes(48, 48, seed=23)
+    return {name: (lambda image=image: EdgeDetectionApp(image))
+            for name, image in classes.items()}
+
+
+def fft_inputs() -> Dict[str, Callable[[], FluidApp]]:
+    return {
+        "N1K": lambda: FFTApp([random_vector(1024, seed=29)]),
+        "N4K": lambda: FFTApp([random_vector(4096, seed=29)]),
+    }
+
+
+def dct_inputs() -> Dict[str, Callable[[], FluidApp]]:
+    return {
+        "64x64": lambda: DCTApp(random_tensor(64, 64, seed=31)),
+        "128x128": lambda: DCTApp(random_tensor(128, 128, seed=31)),
+    }
+
+
+def neural_network_inputs() -> Dict[str, Callable[[], FluidApp]]:
+    dataset = synthetic_digits(samples=256, features=196, seed=37)
+    return {
+        "lenet": lambda: NeuralNetworkApp(dataset, architecture="lenet"),
+        "vgg": lambda: NeuralNetworkApp(dataset, architecture="vgg"),
+    }
+
+
+def medusadock_inputs() -> Dict[str, Callable[[], FluidApp]]:
+    def build(placement):
+        dockings = [synthetic_poses(num_poses=64, seed=s,
+                                    placement=placement, name=f"p{s}")
+                    for s in range(6)]
+        return MedusaDockApp(dockings)
+
+    return {"pdb-early": lambda: build("early")}
+
+
+def standard_suite() -> Dict[str, Dict[str, Callable[[], FluidApp]]]:
+    """The full Figure-6 application/input matrix."""
+    return {
+        "kmeans": kmeans_inputs(),
+        "bellman_ford": bellman_ford_inputs(),
+        "graph_coloring": graph_coloring_inputs(),
+        "edge_detection": edge_detection_inputs(),
+        "fft": fft_inputs(),
+        "dct": dct_inputs(),
+        "neural_network": neural_network_inputs(),
+        "medusadock": medusadock_inputs(),
+    }
+
+
+def bench_overheads():
+    """The overhead model used by all benchmarks (see apps.base)."""
+    return DEFAULT_OVERHEADS

@@ -1,0 +1,47 @@
+"""Plain-text rendering of benchmark tables and series.
+
+The benchmarks print the same rows/series the paper's tables and figures
+report; these helpers keep the formatting consistent and readable in
+pytest output.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def render_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence], widths=None) -> str:
+    columns = len(headers)
+    if widths is None:
+        widths = []
+        for index in range(columns):
+            cells = [str(headers[index])] + [
+                _fmt(row[index]) for row in rows]
+            widths.append(max(len(cell) for cell in cells) + 2)
+    lines = [f"\n=== {title} ==="]
+    lines.append("".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("".join("-" * (w - 1) + " " for w in widths))
+    for row in rows:
+        lines.append("".join(_fmt(cell).ljust(w)
+                             for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(title: str, x_label: str, xs: Sequence,
+                  series: dict) -> str:
+    headers = [x_label] + list(series)
+    rows: List[List] = []
+    for index, x in enumerate(xs):
+        rows.append([x] + [values[index] for values in series.values()])
+    return render_table(title, headers, rows)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000:
+            return f"{value:.0f}"
+        return f"{value:.3f}"
+    return str(value)

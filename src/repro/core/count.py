@@ -1,0 +1,117 @@
+"""Counts: introspection on the state of Fluid data (``#pragma count``).
+
+A :class:`Count` is the paper's ``__count__<T>`` — a small observable cell
+that task bodies update as they make progress ("number of pixels smoothed
+so far", "current minimum pose energy", ...).  Valves watch counts; the
+runtime re-evaluates the valves whenever a count changes.
+
+Updates are routed through a *sink* so each execution backend can decide
+when observers learn about a change:
+
+* the default :class:`ImmediateSink` dispatches synchronously (fine for
+  tests and for the thread backend, which adds locking on top);
+* the discrete-event simulator installs a buffering sink so that updates
+  made inside a work chunk become visible at the chunk's virtual
+  completion time, not at the instant the Python code happens to run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+
+class UpdateSink:
+    """Receives ``(count, value)`` notifications; backends override this."""
+
+    def count_updated(self, count: "Count", value: Any) -> None:
+        count.dispatch(value)
+
+
+class ImmediateSink(UpdateSink):
+    """Dispatches every update to subscribers as soon as it happens."""
+
+
+class Count:
+    """An observable counter or tracked statistic attached to Fluid data.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in traces and diagnostics.
+    initial:
+        Starting value (``0`` for plain event counters).
+    """
+
+    def __init__(self, name: str, initial: Any = 0,
+                 sink: Optional[UpdateSink] = None):
+        self.name = name
+        self._initial = initial
+        self._value = initial
+        self._sink = sink or ImmediateSink()
+        self._subscribers: List[Callable[["Count", Any], None]] = []
+        self.updates = 0
+
+    # -- state -----------------------------------------------------------
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def reset(self) -> None:
+        """Restore the initial value (used when a region is re-armed)."""
+        self._value = self._initial
+        self.updates = 0
+
+    def init(self, value: Any) -> "Count":
+        """(Re)set the starting value; mirrors ``ct.init(0)`` in Figure 3."""
+        self._initial = value
+        self._value = value
+        self.updates = 0
+        return self
+
+    # -- mutation (called from task bodies) -------------------------------
+
+    def add(self, delta: Any = 1) -> None:
+        """Increment the counter; the common case for progress counts."""
+        self.set(self._value + delta)
+
+    def set(self, value: Any) -> None:
+        """Overwrite the tracked value (e.g. a running minimum)."""
+        self._value = value
+        self.updates += 1
+        self._sink.count_updated(self, value)
+
+    def track_min(self, candidate: Any) -> None:
+        """Record ``candidate`` if it improves on the current minimum."""
+        if self.updates == 0 or candidate < self._value:
+            self.set(candidate)
+        else:
+            # Still an observation: convergence valves need to see that an
+            # update round happened even when the minimum did not improve.
+            self.set(self._value)
+
+    def track_max(self, candidate: Any) -> None:
+        """Record ``candidate`` if it exceeds the current maximum."""
+        if self.updates == 0 or candidate > self._value:
+            self.set(candidate)
+        else:
+            self.set(self._value)
+
+    # -- observation -----------------------------------------------------
+
+    def subscribe(self, callback: Callable[["Count", Any], None]) -> None:
+        """Register ``callback(count, value)`` for every visible update."""
+        self._subscribers.append(callback)
+
+    def dispatch(self, value: Any) -> None:
+        """Deliver one visible update to all subscribers (sink calls this)."""
+        for callback in self._subscribers:
+            callback(self, value)
+
+    # -- wiring ------------------------------------------------------------
+
+    def bind_sink(self, sink: UpdateSink) -> None:
+        self._sink = sink
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Count({self.name}={self._value!r}, updates={self.updates})"

@@ -1,0 +1,179 @@
+"""Fluid data: versioned values that may be consumed before they are final.
+
+A :class:`FluidData` cell is the unit of dataflow between Fluid tasks
+(``#pragma data``).  While a producer is still running, the cell holds a
+*partial* value; consumers whose start valves are satisfied may read it
+anyway.  Three orthogonal pieces of state drive the runtime semantics of
+Section 6.1 of the paper:
+
+``version``
+    Bumped on every write.  A task records the versions of its inputs when
+    a run starts; "more accurate input is available" means the current
+    version is greater than the recorded one.
+
+``final``
+    Set when the producing task finishes a run: no more updates will come
+    from *that run*.  (A later re-execution of the producer clears and
+    re-sets it.)
+
+``precise``
+    Set when the producing task finishes a run that itself started with
+    all-precise inputs.  Precise data is exactly what a conservative,
+    non-Fluid execution would have produced; the end-quality check is
+    overridden for tasks that consumed only precise inputs (condition (ii)
+    of the CE state).
+
+Region inputs are non-Fluid and therefore born final and precise.
+
+Granularity note: in the simulator backend, the Python-level writes of a
+work chunk are applied when the chunk's code runs, but observers (valves,
+waiting guards) only learn of them at the chunk's virtual completion time.
+A concurrent reader can therefore see at most one chunk of "extra" data,
+which only ever makes the consumed value *more* complete.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence
+
+
+class FluidData:
+    """Base class for a unit of (possibly partial) dataflow.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in traces, graphs and diagnostics.
+    value:
+        Initial payload.  For region inputs pass the finished value and
+        call :meth:`mark_input`.
+    """
+
+    def __init__(self, name: str, value: Any = None):
+        self.name = name
+        self._value = value
+        self.version = 0
+        self.final = False
+        self.precise = False
+        self.producer = None  # type: Optional[object]  # FluidTask, set by graph
+        self._watchers: List[Callable[["FluidData"], None]] = []
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def init(self, value: Any) -> None:
+        """(Re)initialize the payload; mirrors ``d->init(...)`` in Fig. 3."""
+        self._value = value
+        self.version = 0
+        self.final = False
+        self.precise = False
+
+    def mark_input(self) -> "FluidData":
+        """Declare this cell a non-Fluid region input: final and precise."""
+        self.final = True
+        self.precise = True
+        return self
+
+    # -- producer-side API ---------------------------------------------------
+
+    def write(self, value: Any) -> None:
+        """Replace the whole payload with a newer partial value."""
+        self._value = value
+        self._bump()
+
+    def touch(self) -> None:
+        """Record an in-place mutation of the payload (arrays, graphs...)."""
+        self._bump()
+
+    def _bump(self) -> None:
+        self.version += 1
+        self.final = False
+        self.precise = False
+
+    def mark_final(self, precise: bool) -> None:
+        """Called by the runtime when the producing run completes."""
+        self.final = True
+        self.precise = precise
+        for watcher in list(self._watchers):
+            watcher(self)
+
+    # -- consumer-side API ---------------------------------------------------
+
+    def read(self) -> Any:
+        """Return the current (possibly partial) payload.
+
+        Only Fluid methods may call this before :attr:`final` is set; the
+        framework does not police the convention at runtime (tasks created
+        through a region only ever receive the data cells listed in their
+        ``inputs``), but :meth:`read_final` is provided for non-Fluid code.
+        """
+        return self._value
+
+    def read_final(self) -> Any:
+        """Read for non-Fluid consumers: requires the value to be final."""
+        from .errors import DataError
+
+        if not self.final:
+            raise DataError(
+                f"non-Fluid read of {self.name!r} while still partial "
+                f"(version={self.version})")
+        return self._value
+
+    # -- observation ---------------------------------------------------------
+
+    def on_final(self, watcher: Callable[["FluidData"], None]) -> None:
+        self._watchers.append(watcher)
+
+    def snapshot(self) -> "DataSnapshot":
+        """Capture version/precision for run-start bookkeeping."""
+        return DataSnapshot(self.version, self.final, self.precise)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        flags = "".join(flag for flag, on in
+                        (("F", self.final), ("P", self.precise)) if on)
+        return f"FluidData({self.name}, v{self.version}{',' + flags if flags else ''})"
+
+
+class DataSnapshot:
+    """Immutable record of a data cell's state at a task's run start."""
+
+    __slots__ = ("version", "final", "precise")
+
+    def __init__(self, version: int, final: bool, precise: bool):
+        self.version = version
+        self.final = final
+        self.precise = precise
+
+    def advanced_in(self, data: FluidData) -> bool:
+        """Has ``data`` gained information since this snapshot was taken?"""
+        return data.version > self.version or (data.precise and not self.precise)
+
+
+class FluidScalar(FluidData):
+    """A single approximable value (e.g. a running minimum)."""
+
+
+class FluidArray(FluidData):
+    """A 1-D array of Fluid elements (the paper's only aggregate type).
+
+    Multi-dimensional data is expressed by user-side index arithmetic, as
+    in the paper (Section 3.3, limitation five).  The payload may be any
+    mutable sequence, including a :class:`numpy.ndarray`.
+    """
+
+    def __init__(self, name: str, value: Optional[Sequence] = None):
+        super().__init__(name, value)
+
+    def __len__(self) -> int:
+        return 0 if self._value is None else len(self._value)
+
+    def __getitem__(self, index):
+        return self._value[index]
+
+    def __setitem__(self, index, value) -> None:
+        self._value[index] = value
+        self._bump()
+
+    def fill_slice(self, start: int, stop: int, values) -> None:
+        """Bulk-update ``payload[start:stop]`` as one versioned write."""
+        self._value[start:stop] = values
+        self._bump()

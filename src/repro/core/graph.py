@@ -1,0 +1,261 @@
+"""Static task graphs: topology inference and Fluid region validation.
+
+The graph of a region is *inferred* from the ``Inputs``/``Outputs`` sets
+of its task pragmas: if data ``d`` appears in the outputs of ``t1`` and
+the inputs of ``t2``, then ``t1 -> t2`` is a dataflow edge (Section 4.1).
+
+Validation enforces the region rules of Sections 3.3 and 4.1:
+
+* exactly one root task and at least one leaf task;
+* the dataflow graph is acyclic;
+* only leaf tasks may carry end valves;
+* every data cell has at most one producing task (true dependencies
+  only; anti-dependencies go through ``sync``);
+* every task is reachable from the root.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set
+
+from .data import FluidData
+from .errors import GraphError
+from .task import FluidTask
+
+
+class TaskGraph:
+    """The static dataflow graph of one Fluid region."""
+
+    def __init__(self, tasks: Sequence[FluidTask]):
+        self.tasks: List[FluidTask] = list(tasks)
+        self._by_name: Dict[str, FluidTask] = {}
+        for task in self.tasks:
+            if task.name in self._by_name:
+                raise GraphError(f"duplicate task name {task.name!r}")
+            self._by_name[task.name] = task
+        self._wire()
+
+    def __iter__(self):
+        return iter(self.tasks)
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def task(self, name: str) -> FluidTask:
+        return self._by_name[name]
+
+    # -- construction ------------------------------------------------------
+
+    def _wire(self) -> None:
+        producers: Dict[int, FluidTask] = {}
+        for task in self.tasks:
+            for data in task.spec.outputs:
+                key = id(data)
+                if key in producers and producers[key] is not task:
+                    raise GraphError(
+                        f"data {data.name!r} has two producers "
+                        f"({producers[key].name!r} and {task.name!r}); "
+                        "anti-dependencies must be ordered with sync()")
+                producers[key] = task
+                data.producer = task
+
+        children: Dict[str, List[FluidTask]] = {t.name: [] for t in self.tasks}
+        parents: Dict[str, List[FluidTask]] = {t.name: [] for t in self.tasks}
+        for task in self.tasks:
+            for data in task.spec.inputs:
+                producer = producers.get(id(data))
+                if producer is None or producer is task:
+                    continue  # region input (non-Fluid) or self-loop guard
+                if producer not in parents[task.name]:
+                    parents[task.name].append(producer)
+                    children[producer.name].append(task)
+
+        for task in self.tasks:
+            task.parents = tuple(parents[task.name])
+            task.children = tuple(children[task.name])
+        for task in self.tasks:
+            task.descendants = tuple(self._collect_descendants(task))
+
+    def _collect_descendants(self, task: FluidTask) -> Iterable[FluidTask]:
+        seen: Set[str] = set()
+        stack = list(task.children)
+        while stack:
+            node = stack.pop()
+            if node.name in seen:
+                continue
+            seen.add(node.name)
+            stack.extend(node.children)
+        return [self._by_name[name] for name in sorted(seen)]
+
+    # -- dynamic extension (paper Section 8) ---------------------------------
+
+    def add_dynamic_task(self, task: FluidTask,
+                         spawner: FluidTask) -> None:
+        """Attach a task spawned while the region is executing.
+
+        The static-graph rules are preserved by construction:
+
+        * the new task's outputs must be fresh cells no existing task
+          produces *or consumes* — the new node therefore has no
+          outgoing edges yet and cannot close a cycle;
+        * a parent that owned end valves would silently stop being a
+          leaf, so that case is rejected;
+        * parents/children/descendants are patched incrementally.
+        """
+        if task.name in self._by_name:
+            raise GraphError(f"duplicate task name {task.name!r}")
+        if spawner.name not in self._by_name:
+            raise GraphError(
+                f"dynamic task {task.name!r}: spawner {spawner.name!r} is "
+                "not part of this region")
+        produced = {id(d): t for t in self.tasks for d in t.spec.outputs}
+        consumed = {id(d) for t in self.tasks for d in t.spec.inputs}
+        for data in task.spec.outputs:
+            if id(data) in produced:
+                raise GraphError(
+                    f"dynamic task {task.name!r}: data {data.name!r} "
+                    f"already has producer "
+                    f"{produced[id(data)].name!r}")
+            if id(data) in consumed:
+                raise GraphError(
+                    f"dynamic task {task.name!r}: output {data.name!r} is "
+                    "already consumed by an existing task; dynamic tasks "
+                    "may only feed tasks spawned after them")
+            data.producer = task
+
+        parents = []
+        for data in task.spec.inputs:
+            producer = produced.get(id(data))
+            if producer is not None and producer is not task and \
+                    producer not in parents:
+                parents.append(producer)
+        for parent in parents:
+            if parent.has_end_valves:
+                raise GraphError(
+                    f"dynamic task {task.name!r} would demote "
+                    f"{parent.name!r} from leaf to interior, but "
+                    f"{parent.name!r} carries end valves (Section 3.3)")
+        task.parents = tuple(parents)
+        task.children = ()
+        task.descendants = ()
+        for parent in parents:
+            parent.children = tuple(parent.children) + (task,)
+        # Every (transitive) ancestor gains the new task as a descendant.
+        seen = set()
+        stack = list(parents)
+        while stack:
+            node = stack.pop()
+            if node.name in seen:
+                continue
+            seen.add(node.name)
+            node.descendants = tuple(node.descendants) + (task,)
+            stack.extend(node.parents)
+
+        self.tasks.append(task)
+        self._by_name[task.name] = task
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def roots(self) -> List[FluidTask]:
+        return [task for task in self.tasks if task.is_root]
+
+    @property
+    def leaves(self) -> List[FluidTask]:
+        return [task for task in self.tasks if task.is_leaf]
+
+    def topo_order(self) -> List[FluidTask]:
+        """Kahn topological sort; raises :class:`GraphError` on cycles."""
+        in_degree = {task.name: len(task.parents) for task in self.tasks}
+        frontier = [task for task in self.tasks if in_degree[task.name] == 0]
+        order: List[FluidTask] = []
+        while frontier:
+            task = frontier.pop(0)
+            order.append(task)
+            for child in task.children:
+                in_degree[child.name] -= 1
+                if in_degree[child.name] == 0:
+                    frontier.append(child)
+        if len(order) != len(self.tasks):
+            cyclic = sorted(name for name, deg in in_degree.items() if deg > 0)
+            raise GraphError(f"cyclic dataflow among tasks: {cyclic}")
+        return order
+
+    # -- validation ----------------------------------------------------------
+
+    def validate(self) -> None:
+        """Enforce the Fluid region shape rules; raise GraphError otherwise."""
+        if not self.tasks:
+            raise GraphError("a Fluid region must contain at least one task")
+        self.topo_order()  # raises on cycles
+        roots = self.roots
+        if len(roots) != 1:
+            raise GraphError(
+                f"a Fluid region must have exactly one root task, found "
+                f"{[t.name for t in roots] or 'none'}; add a header task "
+                "on which all entry points depend (Section 2)")
+        if not self.leaves:
+            raise GraphError("a Fluid region must have at least one leaf task")
+        for task in self.tasks:
+            if task.has_end_valves and not task.is_leaf:
+                raise GraphError(
+                    f"task {task.name!r} has end valves but is not a leaf; "
+                    "only leaf tasks may carry quality functions (Section 3.3)")
+        root = roots[0]
+        reachable = {root.name} | {t.name for t in root.descendants}
+        unreachable = sorted(t.name for t in self.tasks
+                             if t.name not in reachable)
+        if unreachable:
+            raise GraphError(
+                f"tasks unreachable from root {root.name!r}: {unreachable}")
+
+    def lint(self) -> List[str]:
+        """Non-fatal diagnostics about suspicious (but legal) regions.
+
+        The big one: a non-root task with an empty start-valve set starts
+        the moment its region launches and races its producers even at a
+        100% threshold — almost never what the author meant (both
+        Bellman-Ford and the header-token pattern hit this during
+        development).  Returns human-readable warnings; callers decide
+        whether to surface them.
+        """
+        warnings: List[str] = []
+        for task in self.tasks:
+            if task.parents and not task.spec.start_valves:
+                parents = ", ".join(p.name for p in task.parents)
+                warnings.append(
+                    f"task {task.name!r} consumes output of {parents} but "
+                    "has no start valves: it will start immediately and "
+                    "race its producers even at full thresholds (gate it "
+                    "with a PercentValve or DataFinalValve)")
+            if task.is_leaf and not task.has_end_valves and task.parents:
+                warnings.append(
+                    f"leaf task {task.name!r} has no end valves: eager "
+                    "output is accepted unconditionally (no quality "
+                    "function)")
+        return warnings
+
+    # -- region I/O --------------------------------------------------------
+
+    def region_inputs(self) -> List[FluidData]:
+        """Data cells consumed by tasks but produced by no task."""
+        produced = {id(d) for t in self.tasks for d in t.spec.outputs}
+        seen: Set[int] = set()
+        inputs: List[FluidData] = []
+        for task in self.tasks:
+            for data in task.spec.inputs:
+                if id(data) not in produced and id(data) not in seen:
+                    seen.add(id(data))
+                    inputs.append(data)
+        return inputs
+
+    def region_outputs(self) -> List[FluidData]:
+        """Data cells produced by leaf tasks: the region's non-Fluid outputs."""
+        outputs: List[FluidData] = []
+        seen: Set[int] = set()
+        for task in self.leaves:
+            for data in task.spec.outputs:
+                if id(data) not in seen:
+                    seen.add(id(data))
+                    outputs.append(data)
+        return outputs

@@ -1,0 +1,52 @@
+"""Region-level scheduling helpers (Section 6.2).
+
+Both executors admit regions first-come-first-serve; these helpers build
+the common submission topologies so application code stays declarative:
+
+* :func:`submit_chain` — each region consumes the previous one's output
+  (K-means epochs, Graph-Coloring rounds);
+* :func:`submit_all` — independent regions that may run concurrently
+  (inter-region concurrency, Figure 1(b));
+* :func:`submit_stages` — a list of *stages*, each a list of concurrent
+  regions, with a barrier between stages.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from .region import FluidRegion
+
+
+def submit_chain(executor, regions: Sequence[FluidRegion]) -> List[FluidRegion]:
+    """Submit regions so each starts only after the previous completed."""
+    submitted: List[FluidRegion] = []
+    previous = None
+    for region in regions:
+        executor.submit(region, after=(previous,) if previous else ())
+        submitted.append(region)
+        previous = region
+    return submitted
+
+
+def submit_all(executor, regions: Iterable[FluidRegion]) -> List[FluidRegion]:
+    """Submit independent regions for concurrent (FCFS) execution."""
+    submitted = []
+    for region in regions:
+        executor.submit(region)
+        submitted.append(region)
+    return submitted
+
+
+def submit_stages(executor,
+                  stages: Sequence[Sequence[FluidRegion]]) -> List[FluidRegion]:
+    """Submit stage after stage: every region of stage ``i+1`` waits for
+    every region of stage ``i`` (an inter-stage barrier)."""
+    submitted: List[FluidRegion] = []
+    previous_stage: Sequence[FluidRegion] = ()
+    for stage in stages:
+        for region in stage:
+            executor.submit(region, after=tuple(previous_stage))
+            submitted.append(region)
+        previous_stage = tuple(stage)
+    return submitted

@@ -1,0 +1,101 @@
+"""Per-task state-machine statistics (paper Table 3).
+
+For every task we record how many times each state was entered and how
+much time (virtual time under the simulator, wall time under the thread
+backend) was spent in it.  The benchmark for Table 3 renders these
+records in the same layout as the paper: one row per task, a
+visit-count column block and a residence-time column block.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .states import TaskState
+
+#: Column order used by Table 3 in the paper.
+TABLE3_STATES = (
+    TaskState.INIT,
+    TaskState.START_CHECK,
+    TaskState.RUNNING,
+    TaskState.END_CHECK,
+    TaskState.WAITING,      # the paper folds W and D into one "Wait/Stall" column
+    TaskState.COMPLETE,
+)
+
+
+class TaskStats:
+    """Visit counts and residence times for one task instance."""
+
+    def __init__(self, task_name: str):
+        self.task_name = task_name
+        self.visits: Dict[TaskState, int] = {state: 0 for state in TaskState}
+        self.time: Dict[TaskState, float] = {state: 0.0 for state in TaskState}
+        self.runs = 0          # completed executions of the body
+        self.cancelled_runs = 0
+        self.quality_failures = 0
+        self._state: Optional[TaskState] = None
+        self._entered_at = 0.0
+
+    def enter(self, state: TaskState, now: float) -> None:
+        """Record a transition into ``state`` at time ``now``."""
+        if self._state is not None:
+            self.time[self._state] += now - self._entered_at
+        self.visits[state] += 1
+        self._state = state
+        self._entered_at = now
+
+    def finish(self, now: float) -> None:
+        """Close the books at the end of the run (task is terminal)."""
+        if self._state is not None:
+            self.time[self._state] += now - self._entered_at
+            self._entered_at = now
+
+    # -- Table 3 helpers -----------------------------------------------------
+
+    def visit_row(self) -> List[float]:
+        row = []
+        for state in TABLE3_STATES:
+            count = self.visits[state]
+            if state is TaskState.WAITING:
+                count += self.visits[TaskState.DEP_STALLED]
+            row.append(count)
+        return row
+
+    def time_row(self) -> List[float]:
+        row = []
+        for state in TABLE3_STATES:
+            value = self.time[state]
+            if state is TaskState.WAITING:
+                value += self.time[TaskState.DEP_STALLED]
+            row.append(value)
+        return row
+
+
+class RegionStats:
+    """Aggregated statistics for all tasks of one region execution."""
+
+    def __init__(self, region_name: str):
+        self.region_name = region_name
+        self.tasks: Dict[str, TaskStats] = {}
+        self.makespan = 0.0
+        self.overhead_time = 0.0   # framework time: init, checks, transitions
+
+    def for_task(self, task_name: str) -> TaskStats:
+        if task_name not in self.tasks:
+            self.tasks[task_name] = TaskStats(task_name)
+        return self.tasks[task_name]
+
+    def merge(self, other: "RegionStats") -> None:
+        """Fold another region execution into this aggregate (averaging is
+        done at reporting time from visit counts)."""
+        for name, stats in other.tasks.items():
+            mine = self.for_task(name)
+            for state in TaskState:
+                mine.visits[state] += stats.visits[state]
+                mine.time[state] += stats.time[state]
+            mine.runs += stats.runs
+            mine.cancelled_runs += stats.cancelled_runs
+            mine.quality_failures += stats.quality_failures
+        self.makespan += other.makespan
+        self.overhead_time += other.overhead_time

@@ -1,0 +1,26 @@
+"""FluidPy: the paper's pragma language and source-to-source translator.
+
+Pipeline: :mod:`lexer` tokenizes pragma payloads, :mod:`parser` builds
+the translation-unit AST (host structure via Python's own parser),
+:mod:`semantics` enforces the region rules at compile time, and
+:mod:`codegen` emits plain Python against :mod:`repro.core`.
+
+Command line: ``python -m repro.lang input.fpy -o output.py``.
+"""
+
+from .ast_nodes import (CountPragma, DataPragma, FluidClassNode, FluidMethod,
+                        TaskPragma, TranslationUnitNode, ValvePragma)
+from .diagnostics import Diagnostic, DiagnosticSink, SourceLocation
+from .support import VALVE_TYPES, bind_task, declare_valve, make_valve
+from .translator import (PragmaStats, TranslationResult, check_source,
+                         load_file, load_source, translate_file,
+                         translate_source)
+
+__all__ = [
+    "CountPragma", "DataPragma", "FluidClassNode", "FluidMethod",
+    "TaskPragma", "TranslationUnitNode", "ValvePragma",
+    "Diagnostic", "DiagnosticSink", "SourceLocation",
+    "VALVE_TYPES", "bind_task", "declare_valve", "make_valve",
+    "PragmaStats", "TranslationResult", "check_source",
+    "load_file", "load_source", "translate_file", "translate_source",
+]

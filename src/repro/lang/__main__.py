@@ -1,0 +1,63 @@
+"""Command-line entry point for the FluidPy translator.
+
+Usage::
+
+    python -m repro.lang input.fpy [-o output.py] [--check] [--stats]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..core.errors import CompileError
+from .translator import translate_file
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lang",
+        description="Translate FluidPy (pragma-annotated) source to plain "
+                    "Python over the repro runtime.")
+    parser.add_argument("input", help="FluidPy source file (.fpy)")
+    parser.add_argument("-o", "--output",
+                        help="write generated Python here (default: stdout)")
+    parser.add_argument("--check", action="store_true",
+                        help="only run diagnostics; emit no code")
+    parser.add_argument("--stats", action="store_true",
+                        help="print Table-2 style pragma statistics")
+    args = parser.parse_args(argv)
+
+    try:
+        result = translate_file(args.input, strict=not args.check)
+    except CompileError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+
+    for diagnostic in result.diagnostics:
+        print(diagnostic, file=sys.stderr)
+
+    if args.stats:
+        print(f"{args.input}: {result.total_lines()} lines, "
+              f"{result.total_pragmas()} pragmas "
+              f"({100 * result.pragma_ratio():.1f}%)")
+        for stats in result.per_class_stats():
+            print(f"  region {stats.class_name}: {stats.region_lines} lines, "
+                  f"{stats.region_pragmas} pragmas "
+                  f"({100 * stats.region_ratio:.1f}%)")
+        return 0
+
+    if args.check:
+        return 1 if any(d.severity == "error"
+                        for d in result.diagnostics) else 0
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(result.python_source)
+    else:
+        print(result.python_source)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,101 @@
+"""AST node types for FluidPy translation units.
+
+The host structure (classes, methods) comes from Python's own AST; these
+nodes describe only the Fluid-specific constructs layered on top:
+pragmas, fluid classes, and the pieces of a region body.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class DataPragma:
+    """``#pragma data {TYPE NAME;}`` / ``#pragma data {TYPE *NAME;}``."""
+    type_name: str
+    name: str
+    is_array: bool
+    line: int
+
+
+@dataclass
+class CountPragma:
+    """``#pragma count {TYPE NAME;}``."""
+    type_name: str
+    name: str
+    line: int
+
+
+@dataclass
+class ValvePragma:
+    """``#pragma valve {VALVETYPE NAME;}`` or with constructor args
+    ``#pragma valve {VALVETYPE NAME(arg, ...);}``."""
+    valve_type: str
+    name: str
+    args_src: Optional[str]     # raw argument text, or None for two-phase init
+    line: int
+
+
+@dataclass
+class TaskPragma:
+    """``#pragma task <<<name, {SV}, {EV}, {In}, {Out}>>> func(args)``."""
+    task_name: str
+    start_valves: List[str]
+    end_valves: List[str]
+    inputs: List[str]
+    outputs: List[str]
+    func_name: str
+    args_src: str              # raw argument text of the call
+    line: int
+
+
+@dataclass
+class RegionStatement:
+    """One line of the region() body after classification."""
+    kind: str                  # "task" | "sync" | "python"
+    text: str                  # original source line (dedented)
+    task: Optional[TaskPragma] = None
+    line: int = 0
+
+
+@dataclass
+class FluidMethod:
+    """A method of the fluid class, copied verbatim into the output."""
+    name: str
+    source: str                # dedented full def block
+    params: List[str]
+    line: int
+    is_generator: bool = False
+
+
+@dataclass
+class FluidClassNode:
+    """One ``__fluid__``-marked class."""
+    name: str
+    bases: List[str]
+    datas: List[DataPragma] = field(default_factory=list)
+    counts: List[CountPragma] = field(default_factory=list)
+    valves: List[ValvePragma] = field(default_factory=list)
+    methods: List[FluidMethod] = field(default_factory=list)
+    region_body: List[RegionStatement] = field(default_factory=list)
+    class_assigns: List[str] = field(default_factory=list)
+    line: int = 0
+    end_line: int = 0
+
+    @property
+    def tasks(self) -> List[TaskPragma]:
+        return [stmt.task for stmt in self.region_body
+                if stmt.kind == "task" and stmt.task is not None]
+
+
+@dataclass
+class TranslationUnitNode:
+    """A whole FluidPy file: passthrough Python + fluid classes."""
+    filename: str
+    source_lines: List[str]
+    classes: List[FluidClassNode] = field(default_factory=list)
+    #: (start, end) 1-based inclusive line ranges owned by fluid classes
+    #: (including their ``__fluid__`` marker), excluded from passthrough.
+    owned_ranges: List[Tuple[int, int]] = field(default_factory=list)

@@ -1,0 +1,67 @@
+"""Source-located diagnostics for the FluidPy translator.
+
+The translator accumulates errors and warnings with ``file:line:col``
+locations so that a single compile reports every problem, the way a real
+compiler does, instead of stopping at the first.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional
+
+from ..core.errors import CompileError
+
+
+class SourceLocation(NamedTuple):
+    filename: str
+    line: int       # 1-based
+    column: int     # 1-based
+
+    def __str__(self) -> str:
+        return f"{self.filename}:{self.line}:{self.column}"
+
+
+class Diagnostic(NamedTuple):
+    severity: str            # "error" | "warning"
+    message: str
+    location: Optional[SourceLocation]
+
+    def __str__(self) -> str:
+        prefix = f"{self.location}: " if self.location else ""
+        return f"{prefix}{self.severity}: {self.message}"
+
+
+class DiagnosticSink:
+    """Collects diagnostics during one translation unit."""
+
+    def __init__(self, filename: str = "<fluid>"):
+        self.filename = filename
+        self.diagnostics: List[Diagnostic] = []
+
+    def error(self, message: str, line: int = 0, column: int = 1) -> None:
+        location = SourceLocation(self.filename, line, column) if line else None
+        self.diagnostics.append(Diagnostic("error", message, location))
+
+    def warning(self, message: str, line: int = 0, column: int = 1) -> None:
+        location = SourceLocation(self.filename, line, column) if line else None
+        self.diagnostics.append(Diagnostic("warning", message, location))
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "error"]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "warning"]
+
+    def raise_if_errors(self) -> None:
+        if not self.errors:
+            return
+        summary = "\n".join(str(d) for d in self.diagnostics)
+        first = self.errors[0]
+        raise CompileError(
+            f"{len(self.errors)} error(s) translating {self.filename}:\n"
+            f"{summary}",
+            filename=self.filename,
+            line=first.location.line if first.location else 0,
+            column=first.location.column if first.location else 0)

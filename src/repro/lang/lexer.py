@@ -1,0 +1,100 @@
+"""Tokenizer for Fluid pragma payloads.
+
+A pragma line looks like::
+
+    #pragma data {Image *d1;}
+    #pragma count {int ct;}
+    #pragma valve {ValveCT v1;}
+    #pragma task <<<t1, {v1}, {v2}, {d2}, {d3}>>> Sobel(img, out)
+
+The lexer turns the text after ``#pragma`` into a token stream for the
+recursive-descent parser.  ``<<<`` / ``>>>`` are recognized greedily so
+that comparison operators inside argument expressions (``a < b``) are
+still possible.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .diagnostics import DiagnosticSink
+from .tokens import OPERATORS, PUNCTUATION, Token, TokenKind
+
+
+def tokenize(text: str, line: int, sink: DiagnosticSink,
+             column_offset: int = 0) -> List[Token]:
+    """Tokenize one pragma payload; errors go to ``sink``."""
+    tokens: List[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        column = column_offset + i + 1
+        if ch in " \t":
+            i += 1
+            continue
+        if text.startswith("<<<", i):
+            tokens.append(Token(TokenKind.LGUARD, "<<<", line, column))
+            i += 3
+            continue
+        if text.startswith(">>>", i):
+            tokens.append(Token(TokenKind.RGUARD, ">>>", line, column))
+            i += 3
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            tokens.append(Token(TokenKind.IDENT, text[i:j], line, column))
+            i = j
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or
+                             (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    seen_dot = True
+                j += 1
+            if j < n and text[j] in "eE":  # exponent
+                k = j + 1
+                if k < n and text[k] in "+-":
+                    k += 1
+                while k < n and text[k].isdigit():
+                    k += 1
+                j = k
+            tokens.append(Token(TokenKind.NUMBER, text[i:j], line, column))
+            i = j
+            continue
+        if ch in "\"'":
+            quote = ch
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            if j >= n:
+                sink.error("unterminated string literal", line, column)
+                return tokens
+            tokens.append(Token(TokenKind.STRING, text[i:j + 1], line, column))
+            i = j + 1
+            continue
+        if text.startswith("**", i):
+            tokens.append(Token(TokenKind.OP, "**", line, column))
+            i += 2
+            continue
+        if ch in PUNCTUATION:
+            tokens.append(Token(PUNCTUATION[ch], ch, line, column))
+            i += 1
+            continue
+        matched = False
+        for op in OPERATORS:
+            if text.startswith(op, i):
+                tokens.append(Token(TokenKind.OP, op, line, column))
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        sink.error(f"unexpected character {ch!r} in pragma", line, column)
+        i += 1
+    tokens.append(Token(TokenKind.END, "", line, column_offset + n + 1))
+    return tokens

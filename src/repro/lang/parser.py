@@ -1,0 +1,359 @@
+"""Parser for FluidPy translation units.
+
+FluidPy is the paper's pragma language (Figure 2) hosted in Python
+syntax: a fluid class is marked by a bare ``__fluid__`` line immediately
+above its ``class`` statement, member pragmas appear as ``#pragma``
+comments in the class body, and task pragmas appear inside the
+``region()`` method.  Because pragmas are comments to Python, the host
+structure is parsed with :mod:`ast` while each pragma payload goes
+through the dedicated lexer and the recursive-descent routines below.
+
+Grammar (from the paper, Figure 2)::
+
+    FluidStmt  :: FluidDef | PragmaStmt
+    FluidDef   :: __fluid__ class
+    PragmaStmt :: DataPra | ValvePra | CountPra | TaskPra
+    DataPra    :: #pragma data { type  name ; }
+                | #pragma data { type *name ; }
+    CountPra   :: #pragma count { type name ; }
+    ValvePra   :: #pragma valve { type name (args...)? ; }
+    TaskPra    :: #pragma task <<< name, SV, EV, Inputs, Outputs >>> func(args)
+    SV, EV, Inputs, Outputs :: { (name (, name)*)? }
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import textwrap
+from typing import List, Optional, Tuple
+
+from .ast_nodes import (CountPragma, DataPragma, FluidClassNode, FluidMethod,
+                        RegionStatement, TaskPragma, TranslationUnitNode,
+                        ValvePragma)
+from .diagnostics import DiagnosticSink
+from .lexer import tokenize
+from .tokens import Token, TokenKind
+
+_PRAGMA_RE = re.compile(r"^\s*#\s*pragma\s+(\w+)\s*(.*?)\s*$")
+_SYNC_RE = re.compile(r"^\s*sync\s*\(")
+_MARKER = "__fluid__"
+
+
+class _TokenStream:
+    """Cursor over a token list with diagnostic-reporting helpers."""
+
+    def __init__(self, tokens: List[Token], sink: DiagnosticSink):
+        self.tokens = tokens
+        self.sink = sink
+        self.pos = 0
+        self.failed = False
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind is not TokenKind.END:
+            self.pos += 1
+        return token
+
+    def accept(self, kind: TokenKind) -> Optional[Token]:
+        if self.peek().kind is kind:
+            return self.advance()
+        return None
+
+    def expect(self, kind: TokenKind, what: str) -> Optional[Token]:
+        token = self.peek()
+        if token.kind is kind:
+            return self.advance()
+        self.sink.error(
+            f"expected {what} but found {token.kind.value} "
+            f"{token.text!r}", token.line, token.column)
+        self.failed = True
+        return None
+
+
+# ---------------------------------------------------------------- pragmas
+
+def parse_data_pragma(payload: str, line: int,
+                      sink: DiagnosticSink) -> Optional[DataPragma]:
+    stream = _TokenStream(tokenize(payload, line, sink), sink)
+    if stream.expect(TokenKind.LBRACE, "'{'") is None:
+        return None
+    type_token = stream.expect(TokenKind.IDENT, "a type name")
+    is_array = stream.accept(TokenKind.STAR) is not None
+    name_token = stream.expect(TokenKind.IDENT, "the data member name")
+    stream.accept(TokenKind.SEMI)
+    stream.expect(TokenKind.RBRACE, "'}'")
+    if stream.failed or type_token is None or name_token is None:
+        return None
+    return DataPragma(type_token.text, name_token.text, is_array, line)
+
+
+def parse_count_pragma(payload: str, line: int,
+                       sink: DiagnosticSink) -> Optional[CountPragma]:
+    stream = _TokenStream(tokenize(payload, line, sink), sink)
+    if stream.expect(TokenKind.LBRACE, "'{'") is None:
+        return None
+    type_token = stream.expect(TokenKind.IDENT, "a type name")
+    name_token = stream.expect(TokenKind.IDENT, "the count name")
+    stream.accept(TokenKind.SEMI)
+    stream.expect(TokenKind.RBRACE, "'}'")
+    if stream.failed or type_token is None or name_token is None:
+        return None
+    return CountPragma(type_token.text, name_token.text, line)
+
+
+def parse_valve_pragma(payload: str, line: int,
+                       sink: DiagnosticSink) -> Optional[ValvePragma]:
+    stream = _TokenStream(tokenize(payload, line, sink), sink)
+    if stream.expect(TokenKind.LBRACE, "'{'") is None:
+        return None
+    type_token = stream.expect(TokenKind.IDENT, "a valve type")
+    name_token = stream.expect(TokenKind.IDENT, "the valve name")
+    args_src: Optional[str] = None
+    open_paren = stream.accept(TokenKind.LPAREN)
+    if open_paren is not None:
+        close = _find_matching_paren(stream, sink)
+        if close is None:
+            return None
+        args_src = payload[open_paren.column:close.column - 1].strip()
+    stream.accept(TokenKind.SEMI)
+    stream.expect(TokenKind.RBRACE, "'}'")
+    if stream.failed or type_token is None or name_token is None:
+        return None
+    return ValvePragma(type_token.text, name_token.text, args_src, line)
+
+
+def _find_matching_paren(stream: _TokenStream,
+                         sink: DiagnosticSink) -> Optional[Token]:
+    """Consume tokens until the paren opened just before is closed."""
+    depth = 1
+    while True:
+        token = stream.advance()
+        if token.kind is TokenKind.END:
+            sink.error("unbalanced parentheses in pragma",
+                       token.line, token.column)
+            stream.failed = True
+            return None
+        if token.kind is TokenKind.LPAREN:
+            depth += 1
+        elif token.kind is TokenKind.RPAREN:
+            depth -= 1
+            if depth == 0:
+                return token
+
+
+def _parse_name_set(stream: _TokenStream, what: str) -> Optional[List[str]]:
+    if stream.expect(TokenKind.LBRACE, f"'{{' opening the {what} set") is None:
+        return None
+    names: List[str] = []
+    if stream.peek().kind is TokenKind.IDENT:
+        names.append(stream.advance().text)
+        while stream.accept(TokenKind.COMMA):
+            token = stream.expect(TokenKind.IDENT, f"a name in the {what} set")
+            if token is None:
+                return None
+            names.append(token.text)
+    if stream.expect(TokenKind.RBRACE, f"'}}' closing the {what} set") is None:
+        return None
+    return names
+
+
+def parse_task_pragma(payload: str, line: int,
+                      sink: DiagnosticSink) -> Optional[TaskPragma]:
+    stream = _TokenStream(tokenize(payload, line, sink), sink)
+    if stream.expect(TokenKind.LGUARD, "'<<<' opening the guard") is None:
+        return None
+    name_token = stream.expect(TokenKind.IDENT, "the task name")
+    if name_token is None:
+        return None
+    sets: List[List[str]] = []
+    for what in ("start-valve", "end-valve", "input", "output"):
+        if stream.expect(TokenKind.COMMA, f"',' before the {what} set") is None:
+            return None
+        names = _parse_name_set(stream, what)
+        if names is None:
+            return None
+        sets.append(names)
+    if stream.expect(TokenKind.RGUARD, "'>>>' closing the guard") is None:
+        return None
+    func_token = stream.expect(TokenKind.IDENT, "the task function name")
+    if func_token is None:
+        return None
+    func_name = func_token.text
+    while stream.accept(TokenKind.DOT):
+        part = stream.expect(TokenKind.IDENT, "an attribute name")
+        if part is None:
+            return None
+        func_name += "." + part.text
+    open_paren = stream.expect(TokenKind.LPAREN, "'(' opening the call")
+    if open_paren is None:
+        return None
+    close = _find_matching_paren(stream, sink)
+    if close is None:
+        return None
+    args_src = payload[open_paren.column:close.column - 1].strip()
+    return TaskPragma(name_token.text, sets[0], sets[1], sets[2], sets[3],
+                      func_name, args_src, line)
+
+
+# ------------------------------------------------------------- host file
+
+def parse_source(source: str, filename: str = "<fluid>",
+                 sink: Optional[DiagnosticSink] = None
+                 ) -> Tuple[TranslationUnitNode, DiagnosticSink]:
+    """Parse a whole FluidPy file into a :class:`TranslationUnitNode`."""
+    sink = sink or DiagnosticSink(filename)
+    lines = source.splitlines()
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as exc:
+        sink.error(f"host Python syntax error: {exc.msg}",
+                   exc.lineno or 0, exc.offset or 1)
+        return TranslationUnitNode(filename, lines), sink
+
+    unit = TranslationUnitNode(filename, lines)
+    marker_lines = {i + 1 for i, text in enumerate(lines)
+                    if text.strip() == _MARKER}
+
+    for node in tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        marker = _marker_above(node.lineno, lines, marker_lines)
+        if marker is None:
+            continue
+        fluid_class = _parse_fluid_class(node, lines, sink)
+        unit.classes.append(fluid_class)
+        unit.owned_ranges.append((marker, node.end_lineno or node.lineno))
+
+    orphaned = marker_lines - {start for start, _ in unit.owned_ranges}
+    for line in sorted(orphaned):
+        sink.error("__fluid__ marker is not followed by a class definition",
+                   line)
+    return unit, sink
+
+
+def _marker_above(class_line: int, lines: List[str],
+                  markers: set) -> Optional[int]:
+    """Find a ``__fluid__`` marker directly above the class (blank lines
+    and comments may intervene)."""
+    probe = class_line - 1
+    while probe >= 1:
+        text = lines[probe - 1].strip()
+        if probe in markers:
+            return probe
+        if text == "" or text.startswith("#"):
+            probe -= 1
+            continue
+        return None
+    return None
+
+
+def _parse_fluid_class(node: ast.ClassDef, lines: List[str],
+                       sink: DiagnosticSink) -> FluidClassNode:
+    fluid_class = FluidClassNode(
+        name=node.name,
+        bases=[ast.unparse(base) for base in node.bases],
+        line=node.lineno,
+        end_line=node.end_lineno or node.lineno)
+
+    region_node: Optional[ast.FunctionDef] = None
+    method_ranges: List[Tuple[int, int]] = []
+    for child in node.body:
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            start = min([child.lineno] +
+                        [d.lineno for d in child.decorator_list])
+            end = child.end_lineno or child.lineno
+            method_ranges.append((start, end))
+            if child.name.lower() == "region":
+                region_node = child
+                continue
+            if child.name == "__init__":
+                sink.error(
+                    f"fluid class {node.name!r} may not define __init__; "
+                    "pass construction parameters as keyword arguments "
+                    "(they become attributes)", child.lineno)
+                continue
+            source = textwrap.dedent(
+                "\n".join(lines[start - 1:end]))
+            is_generator = any(isinstance(sub, (ast.Yield, ast.YieldFrom))
+                               for sub in ast.walk(child))
+            params = [arg.arg for arg in child.args.args]
+            fluid_class.methods.append(FluidMethod(
+                child.name, source, params, child.lineno, is_generator))
+        elif isinstance(child, (ast.Assign, ast.AnnAssign)):
+            start, end = child.lineno, child.end_lineno or child.lineno
+            fluid_class.class_assigns.append(
+                textwrap.dedent("\n".join(lines[start - 1:end])))
+
+    # ---- member pragmas: class-level lines not inside any method --------
+    def inside_method(line_number: int) -> bool:
+        return any(start <= line_number <= end
+                   for start, end in method_ranges)
+
+    region_range = (0, -1)
+    if region_node is not None:
+        region_range = (region_node.lineno, region_node.end_lineno or 0)
+
+    for line_number in range(node.lineno, (node.end_lineno or node.lineno) + 1):
+        text = lines[line_number - 1]
+        match = _PRAGMA_RE.match(text)
+        if not match:
+            continue
+        kind, payload = match.group(1), match.group(2)
+        in_region = region_range[0] <= line_number <= region_range[1]
+        if kind == "task":
+            if not in_region:
+                sink.error("task pragmas are only allowed inside region()",
+                           line_number)
+            continue  # handled with the region body below
+        if in_region or inside_method(line_number):
+            sink.error(f"{kind} pragmas must appear at class level",
+                       line_number)
+            continue
+        if kind == "data":
+            pragma = parse_data_pragma(payload, line_number, sink)
+            if pragma:
+                fluid_class.datas.append(pragma)
+        elif kind == "count":
+            pragma = parse_count_pragma(payload, line_number, sink)
+            if pragma:
+                fluid_class.counts.append(pragma)
+        elif kind == "valve":
+            pragma = parse_valve_pragma(payload, line_number, sink)
+            if pragma:
+                fluid_class.valves.append(pragma)
+        else:
+            sink.error(f"unknown pragma kind {kind!r}", line_number)
+
+    # ---- region body ------------------------------------------------------
+    if region_node is None:
+        sink.error(f"fluid class {node.name!r} has no region() method",
+                   node.lineno)
+        return fluid_class
+
+    body_start = region_node.body[0].lineno
+    body_end = region_node.end_lineno or body_start
+    # Comments (including pragmas) above the first statement belong to the
+    # body too.
+    scan_start = region_node.lineno + 1
+    for line_number in range(scan_start, body_end + 1):
+        raw = lines[line_number - 1]
+        match = _PRAGMA_RE.match(raw)
+        if match and match.group(1) == "task":
+            task = parse_task_pragma(match.group(2), line_number, sink)
+            if task is not None:
+                fluid_class.region_body.append(RegionStatement(
+                    "task", raw.rstrip("\n"), task=task, line=line_number))
+            continue
+        if match:
+            continue  # member pragma already reported above
+        if _SYNC_RE.match(raw):
+            fluid_class.region_body.append(RegionStatement(
+                "sync", raw.rstrip("\n"), line=line_number))
+            continue
+        fluid_class.region_body.append(RegionStatement(
+            "python", raw.rstrip("\n"), line=line_number))
+    return fluid_class

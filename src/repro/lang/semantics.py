@@ -1,0 +1,242 @@
+"""Semantic analysis for fluid classes (compile-time region checking).
+
+Everything :class:`~repro.core.graph.TaskGraph` enforces at runtime is
+checked here at translation time, on names, so that a bad FluidPy file
+is rejected with source locations before any code is generated:
+
+* the class has a ``region()`` and at least one Fluid data member and
+  one Fluid method used as a task (Section 4.1, FluidDef rules);
+* every name in a task guard resolves to a declared valve/data member;
+* the inferred dataflow graph has one root, at least one leaf, no
+  cycles, and no data cell with two producers;
+* end valves appear only on leaf tasks;
+* task bodies are generator methods taking ``(self, ctx, ...)``.
+
+Unused members produce warnings, not errors.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Set
+
+from .ast_nodes import FluidClassNode, TaskPragma
+from .diagnostics import DiagnosticSink
+from .support import VALVE_TYPES
+
+
+def analyze_class(fluid_class: FluidClassNode, sink: DiagnosticSink) -> None:
+    """Run every check on one fluid class; report into ``sink``."""
+    _check_members(fluid_class, sink)
+    _check_tasks(fluid_class, sink)
+    _check_graph(fluid_class, sink)
+    _check_argument_expressions(fluid_class, sink)
+    _check_usage(fluid_class, sink)
+
+
+def _check_argument_expressions(fc: FluidClassNode,
+                                sink: DiagnosticSink) -> None:
+    """Pragma argument lists must be valid Python expressions — catch
+    `gaussian(ct,,)` at translate time, not when the generated module is
+    first imported."""
+    for task in fc.tasks:
+        _check_expression(task.args_src, f"task {task.task_name!r} call",
+                          task.line, sink, allow_empty=True)
+    for valve in fc.valves:
+        if valve.args_src is not None:
+            _check_expression(valve.args_src,
+                              f"valve {valve.name!r} constructor",
+                              valve.line, sink, allow_empty=False)
+
+
+def _check_expression(args_src: str, what: str, line: int,
+                      sink: DiagnosticSink, allow_empty: bool) -> None:
+    text = args_src.strip()
+    if not text:
+        if not allow_empty:
+            sink.error(f"{what} has an empty argument list", line)
+        return
+    try:
+        ast.parse(f"__probe__({text})", mode="eval")
+    except SyntaxError as exc:
+        sink.error(f"{what} arguments are not a valid Python "
+                   f"expression list: {exc.msg}", line)
+
+
+# ------------------------------------------------------------------ members
+
+def _check_members(fc: FluidClassNode, sink: DiagnosticSink) -> None:
+    seen: Dict[str, int] = {}
+    for pragma in list(fc.datas) + list(fc.counts) + list(fc.valves):
+        if pragma.name in seen:
+            sink.error(
+                f"duplicate fluid member {pragma.name!r} "
+                f"(first declared on line {seen[pragma.name]})", pragma.line)
+        seen[pragma.name] = pragma.line
+    if not fc.datas:
+        sink.error(
+            f"fluid class {fc.name!r} declares no fluid data; a fluid "
+            "class must contain at least one data member (Section 4.1)",
+            fc.line)
+    for valve in fc.valves:
+        if valve.valve_type not in VALVE_TYPES:
+            sink.error(
+                f"unknown valve type {valve.valve_type!r}; known types: "
+                f"{', '.join(sorted(VALVE_TYPES))}", valve.line)
+    method_names = {m.name for m in fc.methods}
+    member_names = set(seen)
+    clash = member_names & method_names
+    for name in sorted(clash):
+        sink.error(f"member {name!r} collides with a method name", fc.line)
+
+
+# -------------------------------------------------------------------- tasks
+
+def _check_tasks(fc: FluidClassNode, sink: DiagnosticSink) -> None:
+    tasks = fc.tasks
+    if not tasks:
+        sink.error(
+            f"fluid class {fc.name!r} schedules no tasks in region()",
+            fc.line)
+        return
+    data_names = {d.name for d in fc.datas}
+    valve_names = {v.name for v in fc.valves}
+    methods = {m.name: m for m in fc.methods}
+    seen_names: Dict[str, int] = {}
+    for task in tasks:
+        if task.task_name in seen_names:
+            sink.error(
+                f"duplicate task name {task.task_name!r} (first scheduled "
+                f"on line {seen_names[task.task_name]})", task.line)
+        seen_names[task.task_name] = task.line
+        for valve_name in task.start_valves + task.end_valves:
+            if valve_name not in valve_names:
+                sink.error(
+                    f"task {task.task_name!r} references undeclared valve "
+                    f"{valve_name!r}", task.line)
+        for data_name in task.inputs + task.outputs:
+            if data_name not in data_names:
+                sink.error(
+                    f"task {task.task_name!r} references undeclared data "
+                    f"{data_name!r}", task.line)
+        _check_task_method(fc, task, methods, sink)
+
+
+def _check_task_method(fc: FluidClassNode, task: TaskPragma,
+                       methods, sink: DiagnosticSink) -> None:
+    func = task.func_name
+    if func.startswith("self."):
+        func = func[len("self."):]
+    if "." in func:
+        return  # external callable; checked at runtime
+    method = methods.get(func)
+    if method is None:
+        sink.error(
+            f"task {task.task_name!r} calls {task.func_name!r}, which is "
+            f"not a method of {fc.name!r}", task.line)
+        return
+    if not method.is_generator:
+        sink.error(
+            f"fluid method {func!r} must be a generator (yield the cost "
+            "of each work chunk)", method.line)
+    if len(method.params) < 2 or method.params[0] != "self" or \
+            method.params[1] != "ctx":
+        sink.error(
+            f"fluid method {func!r} must take (self, ctx, ...) — the task "
+            "context is its first real parameter", method.line)
+
+
+# -------------------------------------------------------------------- graph
+
+def _check_graph(fc: FluidClassNode, sink: DiagnosticSink) -> None:
+    tasks = fc.tasks
+    if not tasks:
+        return
+    producer: Dict[str, TaskPragma] = {}
+    for task in tasks:
+        for output in task.outputs:
+            if output in producer:
+                sink.error(
+                    f"data {output!r} is produced by both "
+                    f"{producer[output].task_name!r} and "
+                    f"{task.task_name!r}; order anti-dependencies with "
+                    "sync() instead", task.line)
+            producer[output] = task
+
+    parents: Dict[str, Set[str]] = {t.task_name: set() for t in tasks}
+    children: Dict[str, Set[str]] = {t.task_name: set() for t in tasks}
+    for task in tasks:
+        for name in task.inputs:
+            source = producer.get(name)
+            if source is not None and source.task_name != task.task_name:
+                parents[task.task_name].add(source.task_name)
+                children[source.task_name].add(task.task_name)
+
+    roots = [t for t in tasks if not parents[t.task_name]]
+    leaves = [t for t in tasks if not children[t.task_name]]
+    if len(roots) != 1:
+        sink.error(
+            f"fluid class {fc.name!r} has {len(roots)} root tasks "
+            f"({', '.join(t.task_name for t in roots) or 'none'}); a region "
+            "must have exactly one root (add a header task, Section 2)",
+            fc.line)
+    if not leaves:
+        sink.error(f"fluid class {fc.name!r} has no leaf task", fc.line)
+    for task in tasks:
+        if task.end_valves and children[task.task_name]:
+            sink.error(
+                f"task {task.task_name!r} has end valves but is not a "
+                "leaf; only leaf tasks carry quality functions "
+                "(Section 3.3)", task.line)
+        if parents[task.task_name] and not task.start_valves:
+            sink.warning(
+                f"task {task.task_name!r} consumes another task's output "
+                "but has no start valves: it will start immediately and "
+                "race its producers even at full thresholds", task.line)
+
+    # Cycle check (Kahn) on the name graph.
+    in_degree = {name: len(p) for name, p in parents.items()}
+    frontier = [name for name, deg in in_degree.items() if deg == 0]
+    visited = 0
+    while frontier:
+        name = frontier.pop()
+        visited += 1
+        for child in children[name]:
+            in_degree[child] -= 1
+            if in_degree[child] == 0:
+                frontier.append(child)
+    if visited != len(tasks):
+        cyclic = sorted(name for name, deg in in_degree.items() if deg > 0)
+        sink.error(
+            f"cyclic dataflow among tasks {cyclic} in fluid class "
+            f"{fc.name!r}", fc.line)
+
+
+# -------------------------------------------------------------------- usage
+
+def _check_usage(fc: FluidClassNode, sink: DiagnosticSink) -> None:
+    tasks = fc.tasks
+    used_data = {name for t in tasks for name in t.inputs + t.outputs}
+    used_valves = {name for t in tasks
+                   for name in t.start_valves + t.end_valves}
+    region_text = "\n".join(stmt.text for stmt in fc.region_body)
+    method_text = "\n".join(m.source for m in fc.methods)
+
+    def mentioned(name: str, text: str) -> bool:
+        return re.search(rf"\b{re.escape(name)}\b", text) is not None
+
+    for data in fc.datas:
+        if data.name not in used_data and not mentioned(data.name,
+                                                        region_text):
+            sink.warning(f"fluid data {data.name!r} is never used",
+                         data.line)
+    for valve in fc.valves:
+        if valve.name not in used_valves:
+            sink.warning(f"valve {valve.name!r} is never attached to a task",
+                         valve.line)
+    for count in fc.counts:
+        if not mentioned(count.name, region_text) and \
+                not mentioned(count.name, method_text):
+            sink.warning(f"count {count.name!r} is never read or updated",
+                         count.line)

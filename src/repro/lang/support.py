@@ -1,0 +1,64 @@
+"""Runtime support referenced by generated FluidPy code.
+
+Generated modules import this as ``from repro.lang import support as
+_fluid_support``; keeping the helpers here (rather than inlining them
+into every generated file) keeps the emitted code small and readable,
+mirroring how the paper's translator links against the Fluid runtime
+library.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Type
+
+from ..core.valves import (ConvergenceValve, CountValve, DataFinalValve,
+                           PercentValve, PredicateValve, StabilityValve,
+                           Valve)
+
+#: Valve type names accepted in ``#pragma valve`` declarations.  The
+#: left-hand names are the paper's spellings (``ValveCT``); the runtime
+#: class names are accepted too.
+VALVE_TYPES: Dict[str, Type[Valve]] = {
+    "ValveCT": CountValve,
+    "CountValve": CountValve,
+    "ValvePC": PercentValve,
+    "PercentValve": PercentValve,
+    "ValveCV": ConvergenceValve,
+    "ConvergenceValve": ConvergenceValve,
+    "ValveSB": StabilityValve,
+    "StabilityValve": StabilityValve,
+    "ValvePred": PredicateValve,
+    "PredicateValve": PredicateValve,
+    "ValveDF": DataFinalValve,
+    "DataFinalValve": DataFinalValve,
+}
+
+
+def declare_valve(type_name: str, name: str) -> Valve:
+    """Two-phase valve construction for ``#pragma valve {Type name;}``."""
+    try:
+        valve_class = VALVE_TYPES[type_name]
+    except KeyError:
+        raise KeyError(
+            f"unknown valve type {type_name!r}; known: "
+            f"{sorted(VALVE_TYPES)}") from None
+    return valve_class.declared(name)
+
+
+def make_valve(type_name: str, name: str, *args) -> Valve:
+    """One-phase valve construction for ``#pragma valve {Type name(args);}``."""
+    valve = declare_valve(type_name, name)
+    valve.init(*args)
+    return valve
+
+
+def bind_task(method: Callable, args: tuple) -> Callable:
+    """Couple a Fluid method with its scheduling-time arguments.
+
+    The Python analogue of the ``std::bind`` call the paper's translator
+    emits (Figure 4, line 20): the returned callable takes only the task
+    context and produces the body generator.
+    """
+    def body(ctx):
+        return method(ctx, *args)
+    return body

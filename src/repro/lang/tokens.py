@@ -1,0 +1,59 @@
+"""Token definitions for the Fluid pragma mini-language (paper Figure 2).
+
+Only the pragma payloads are tokenized with this set; the Python host
+code around them is handled by the standard :mod:`ast` module.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import NamedTuple
+
+
+class TokenKind(enum.Enum):
+    IDENT = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    LBRACE = "{"
+    RBRACE = "}"
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACKET = "["
+    RBRACKET = "]"
+    LGUARD = "<<<"
+    RGUARD = ">>>"
+    COMMA = ","
+    SEMI = ";"
+    STAR = "*"
+    DOT = "."
+    OP = "operator"        # arithmetic etc. inside argument expressions
+    END = "end of pragma"
+
+
+class Token(NamedTuple):
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}({self.text!r})"
+
+
+#: Single-character punctuation understood outside of guard brackets.
+PUNCTUATION = {
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    ",": TokenKind.COMMA,
+    ";": TokenKind.SEMI,
+    "*": TokenKind.STAR,
+    ".": TokenKind.DOT,
+}
+
+#: Multi-character operator fragments allowed inside argument expressions.
+OPERATORS = ("**", "//", "==", "!=", "<=", ">=", "->",
+             "+", "-", "/", "%", "<", ">", "=", ":")

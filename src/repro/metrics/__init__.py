@@ -1,0 +1,11 @@
+"""Error metrics used by the evaluation (paper Section 7.1)."""
+
+from .error import (coloring_error, kmeans_objective, normalized_accuracy,
+                    normalized_mse, normalized_path_error,
+                    prediction_agreement, psnr, topk_overlap)
+
+__all__ = [
+    "coloring_error", "kmeans_objective", "normalized_accuracy",
+    "normalized_mse", "normalized_path_error", "prediction_agreement",
+    "psnr", "topk_overlap",
+]

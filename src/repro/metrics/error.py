@@ -1,0 +1,88 @@
+"""Error metrics, one per application class (paper Section 7.1).
+
+===============  =========================================================
+Application      Metric
+===============  =========================================================
+K-means          summed squared distance of every pixel to its centroid
+Bellman-Ford     average path length error, normalized per destination
+Graph Coloring   number of colors, normalized to the (already
+                 approximate) baseline algorithm's count
+Edge Detection   PSNR of the fluid edge map against the precise one
+FFT / DCT        normalized MSE of the output
+NN / MedusaDock  prediction accuracy / top-k selection agreement
+===============  =========================================================
+
+The cross-application "normalized accuracy" of Figure 6 is
+``abs(fluid_metric - base_metric) / base_metric``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def normalized_accuracy(fluid_metric: float, base_metric: float) -> float:
+    """The paper's normalization: ABS(fluid - base) / base."""
+    if base_metric == 0:
+        return abs(fluid_metric - base_metric)
+    return abs(fluid_metric - base_metric) / abs(base_metric)
+
+
+def kmeans_objective(pixels: np.ndarray, assignments: np.ndarray,
+                     centroids: np.ndarray) -> float:
+    """Sum over pixels of squared Euclidean distance to their centroid."""
+    return float(((pixels - centroids[assignments]) ** 2).sum())
+
+
+def normalized_path_error(dist: np.ndarray,
+                          dist_reference: np.ndarray) -> float:
+    """Average relative shortest-path error over reachable destinations."""
+    reachable = np.isfinite(dist_reference) & (dist_reference > 0)
+    if not reachable.any():
+        return 0.0
+    approx = np.where(np.isfinite(dist[reachable]), dist[reachable],
+                      dist_reference[reachable] * 10.0)
+    rel = np.abs(approx - dist_reference[reachable]) / \
+        dist_reference[reachable]
+    return float(rel.mean())
+
+
+def coloring_error(colors: np.ndarray,
+                   colors_reference: np.ndarray) -> float:
+    """Relative growth in the number of colors (spectral number)."""
+    used = int(colors.max()) + 1
+    used_reference = int(colors_reference.max()) + 1
+    return normalized_accuracy(used, used_reference)
+
+
+def psnr(image: np.ndarray, reference: np.ndarray,
+         peak: float = 255.0) -> float:
+    """Peak signal-to-noise ratio in dB (higher is better)."""
+    mse = float(((image - reference) ** 2).mean())
+    if mse == 0:
+        return float("inf")
+    return 10.0 * np.log10(peak * peak / mse)
+
+
+def normalized_mse(output: np.ndarray, reference: np.ndarray) -> float:
+    """Mean squared error normalized by the reference signal power."""
+    power = float((np.abs(reference) ** 2).mean())
+    mse = float((np.abs(output - reference) ** 2).mean())
+    return mse / power if power > 0 else mse
+
+
+def prediction_agreement(predictions: np.ndarray,
+                         reference: np.ndarray) -> float:
+    """Fraction of samples classified identically (NN accuracy proxy)."""
+    if len(predictions) == 0:
+        return 1.0
+    return float((predictions == reference).mean())
+
+
+def topk_overlap(selected, selected_reference) -> float:
+    """|intersection| / k for pose selection (MedusaDock accuracy)."""
+    chosen = set(int(i) for i in selected)
+    reference = set(int(i) for i in selected_reference)
+    if not reference:
+        return 1.0
+    return len(chosen & reference) / len(reference)

@@ -1,0 +1,21 @@
+"""Execution backends for Fluid regions.
+
+* :class:`SimExecutor` — deterministic discrete-event simulation in
+  virtual time (all performance experiments);
+* :class:`ThreadExecutor` — one guard thread per task, real preemption
+  (semantic validation; GIL-bound, see DESIGN.md);
+* :func:`run_serial` — the precise original program, the baseline for
+  every normalized number in the evaluation.
+"""
+
+from .events import EventQueue
+from .executor import Executor, RunResult, run_serial
+from .simulator import Overheads, SimExecutor, SimResult
+from .thread_backend import ThreadExecutor
+from .tracing import Trace, TraceEvent
+
+__all__ = [
+    "EventQueue", "Executor", "RunResult", "run_serial",
+    "Overheads", "SimExecutor", "SimResult", "ThreadExecutor",
+    "Trace", "TraceEvent",
+]

@@ -1,0 +1,35 @@
+"""A deterministic discrete-event queue.
+
+Events are ordered by ``(time, sequence)``; the sequence number makes
+simultaneous events fire in insertion order, which keeps every run fully
+deterministic (a requirement for regenerating the paper's tables).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Tuple
+
+
+class EventQueue:
+    """A min-heap of timed callbacks."""
+
+    def __init__(self):
+        self._heap: List[Tuple[float, int, Callable[[], Any]]] = []
+        self._sequence = 0
+
+    def push(self, time: float, callback: Callable[[], Any]) -> None:
+        if time < 0:
+            raise ValueError(f"event time must be non-negative, got {time}")
+        heapq.heappush(self._heap, (time, self._sequence, callback))
+        self._sequence += 1
+
+    def pop(self) -> Tuple[float, Callable[[], Any]]:
+        time, _seq, callback = heapq.heappop(self._heap)
+        return time, callback
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,117 @@
+"""ASCII Gantt rendering of simulated executions.
+
+Turns a :class:`~repro.runtime.tracing.Trace` into a per-task timeline
+so fluidized schedules can be inspected at a glance::
+
+    region/task            |#####===R====ody....C        |
+                            ^init   ^running  ^waiting
+
+Legend: ``.`` init, ``=`` start-check (valve wait), ``#`` running,
+``?`` end-check, ``w`` waiting, ``d`` dep-stalled, blank complete.
+Re-executions show up as repeated ``#`` stretches on the same row —
+exactly the phenomenon of the paper's Table 3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.region import FluidRegion
+from ..core.states import TaskState
+from ..core.task import FluidTask
+
+#: glyph per state
+GLYPHS = {
+    TaskState.INIT: ".",
+    TaskState.START_CHECK: "=",
+    TaskState.RUNNING: "#",
+    TaskState.END_CHECK: "?",
+    TaskState.WAITING: "w",
+    TaskState.DEP_STALLED: "d",
+    TaskState.COMPLETE: " ",
+}
+
+
+class TimelineRecorder:
+    """Collects (time, state) transitions per task during a sim run.
+
+    Attach before ``executor.run()``::
+
+        recorder = TimelineRecorder()
+        recorder.attach(region)
+        executor.submit(region); executor.run()
+        print(recorder.render(width=80))
+    """
+
+    def __init__(self):
+        self._events: Dict[str, List[Tuple[float, TaskState]]] = {}
+        self._tasks: List[Tuple[str, FluidTask]] = []
+
+    def attach(self, region: FluidRegion) -> None:
+        graph = region.finalize()
+        for task in graph:
+            label = f"{region.name}/{task.name}"
+            self._tasks.append((label, task))
+            self._events[label] = []
+            self._hook(task, label)
+
+    def _hook(self, task: FluidTask, label: str) -> None:
+        original = task.transition
+        events = self._events[label]
+
+        def recording_transition(new_state, now):
+            original(new_state, now)
+            events.append((now, new_state))
+
+        task.transition = recording_transition  # type: ignore[assignment]
+
+    # -- rendering -----------------------------------------------------------
+
+    def span(self) -> float:
+        last = 0.0
+        for events in self._events.values():
+            if events:
+                last = max(last, events[-1][0])
+        return last
+
+    def render(self, width: int = 80,
+               until: Optional[float] = None) -> str:
+        until = until or self.span() or 1.0
+        label_width = max((len(label) for label, _ in self._tasks),
+                          default=8) + 1
+        lines = [f"virtual time 0 .. {until:.1f} "
+                 f"({until / width:.2f} units/char)"]
+        for label, _task in self._tasks:
+            lines.append(label.ljust(label_width) + "|"
+                         + self._row(self._events[label], width, until)
+                         + "|")
+        lines.append("legend: .init  =start-check  #running  ?end-check  "
+                     "w waiting  d dep-stalled")
+        return "\n".join(lines)
+
+    def _row(self, events: List[Tuple[float, TaskState]], width: int,
+             until: float) -> str:
+        if not events:
+            return " " * width
+        cells = []
+        for column in range(width):
+            time = (column + 0.5) * until / width
+            state = self._state_at(events, time)
+            cells.append(GLYPHS.get(state, " "))
+        return "".join(cells)
+
+    @staticmethod
+    def _state_at(events: List[Tuple[float, TaskState]],
+                  time: float) -> Optional[TaskState]:
+        state: Optional[TaskState] = None
+        for when, new_state in events:
+            if when > time:
+                break
+            state = new_state
+        return state
+
+    # -- statistics ------------------------------------------------------------
+
+    def runs_of(self, label: str) -> int:
+        return sum(1 for _t, state in self._events.get(label, ())
+                   if state is TaskState.RUNNING)

@@ -1,0 +1,440 @@
+"""The discrete-event, virtual-time Fluid executor.
+
+This backend plays the role of the paper's 20-core Xeon: task bodies are
+Python generators whose yielded values are *virtual costs*; the simulator
+interleaves runnable tasks over a configurable number of cores and
+advances a virtual clock.  Because CPython's GIL makes real task
+parallelism unreproducible in pure Python, all performance experiments in
+this reproduction are run on this backend — the makespans it reports are
+deterministic, seed-stable, and preserve the scheduling phenomena the
+paper measures (producer/consumer overlap, valve-gated start times,
+re-execution chains, core contention, guard overheads).
+
+Visibility rule: the Python side effects of a chunk are applied when the
+chunk's code runs, but counts are *published* (valves re-checked, guards
+woken) only at the chunk's virtual completion time, so no task can react
+to data "from the future".
+
+Region scheduling is first-come-first-serve (Section 6.2): submitted
+regions are admitted in order, as soon as their predecessor regions have
+completed and an admission slot is free.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Set, Tuple
+
+from ..core.count import Count, UpdateSink
+from ..core.errors import SchedulerError, TaskBodyError
+from ..core.guard import Coordinator, GuardHost, ModulationPolicy
+from ..core.region import FluidRegion
+from ..core.states import TaskState
+from ..core.task import FluidTask
+from .events import EventQueue
+from .executor import Executor, RunResult
+from .tracing import Trace
+
+
+@dataclass
+class Overheads:
+    """Framework costs, in the same virtual-time units as chunk costs.
+
+    ``task_init`` models the paper's guard-thread launch cost (the
+    dominant overhead for K-means and Graph Coloring, Figure 11);
+    ``end_check`` the quality-function evaluation; ``region_setup`` the
+    per-region construction cost.  ``valve_check`` and ``signal`` are
+    accounted into :attr:`RegionStats.overhead_time` but are too small to
+    model as latency, matching the paper's observation that valve checks
+    only show up as StartCheck residence time.
+    """
+
+    task_init: float = 1.0
+    end_check: float = 0.5
+    region_setup: float = 2.0
+    valve_check: float = 0.01
+    signal: float = 0.02
+    #: Thread-pool mitigation (the paper's Section-3.3 limitation: "Using
+    #: a thread-pool will clearly mitigate these overheads, but that
+    #: feature is not yet supported").  With ``pool_size > 0`` only the
+    #: first ``pool_size`` guard launches pay ``task_init``; every later
+    #: task is dispatched onto an existing pooled guard for
+    #: ``pool_dispatch``.
+    pool_size: int = 0
+    pool_dispatch: float = 0.0
+
+    @classmethod
+    def zero(cls) -> "Overheads":
+        return cls(0.0, 0.0, 0.0, 0.0, 0.0)
+
+    def guard_launch_cost(self, launches_so_far: int) -> float:
+        """Cost of bringing up the guard for the next task."""
+        if self.pool_size > 0 and launches_so_far >= self.pool_size:
+            return self.pool_dispatch
+        return self.task_init
+
+
+class SimResult(RunResult):
+    """Result of a simulated run, with trace access."""
+
+    def __init__(self, makespan: float, regions, overhead_time: float,
+                 trace: Optional[Trace]):
+        super().__init__(makespan, regions, overhead_time)
+        self.trace = trace
+
+
+class _RegionRun:
+    """Per-region execution bookkeeping inside the simulator."""
+
+    def __init__(self, region: FluidRegion, after: Tuple[FluidRegion, ...]):
+        self.region = region
+        self.after = after
+        self.coordinator: Optional[Coordinator] = None
+        self.launched = False
+        self.done = False
+        self.launch_time = 0.0
+
+
+class _BufferingSink(UpdateSink):
+    """Holds count updates until the surrounding chunk completes."""
+
+    def __init__(self, executor: "SimExecutor"):
+        self.executor = executor
+
+    def count_updated(self, count: Count, value: Any) -> None:
+        pending = self.executor._pending_updates
+        if pending is None:
+            # Updates outside a chunk (e.g. region build code) publish
+            # immediately.
+            count.dispatch(value)
+        else:
+            pending.append((count, value))
+
+
+class SimExecutor(Executor, GuardHost):
+    """Discrete-event executor with ``cores`` virtual processors."""
+
+    def __init__(self, cores: int = 20,
+                 overheads: Optional[Overheads] = None,
+                 modulation: Optional[ModulationPolicy] = None,
+                 max_active_regions: Optional[int] = None,
+                 cancel_first_runs: bool = False,
+                 trace: bool = False):
+        if cores < 1:
+            raise SchedulerError("need at least one core")
+        self.cores = cores
+        self.overheads = overheads if overheads is not None else Overheads()
+        self.cancel_first_runs = cancel_first_runs
+        self.modulation = modulation
+        self.max_active_regions = max_active_regions or cores
+        self.trace = Trace() if trace else None
+
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._free_cores = cores
+        self._ready: Deque[FluidTask] = deque()
+        self._queued: Set[int] = set()
+        self._pending_updates: Optional[List[Tuple[Count, Any]]] = None
+        self._sink = _BufferingSink(self)
+        self._runs: List[_RegionRun] = []
+        self._active_regions = 0
+        self._task_region: Dict[int, _RegionRun] = {}
+        # count id -> {task id -> task}; a dict (not a set) so wakeup order
+        # is insertion order, keeping runs deterministic.
+        self._watchers: Dict[int, Dict[int, FluidTask]] = {}
+        self._generators: Dict[int, Any] = {}
+        self._guards_launched = 0
+        self._started = False
+
+    # ------------------------------------------------------------- public
+
+    def submit(self, region: FluidRegion,
+               after: Iterable[FluidRegion] = ()) -> FluidRegion:
+        self._runs.append(_RegionRun(region, tuple(after)))
+        return region
+
+    def run(self) -> SimResult:
+        if self._started:
+            raise SchedulerError("executors are single-shot; build a new one")
+        self._started = True
+        self._try_admissions()
+        while self._queue:
+            time, callback = self._queue.pop()
+            self._now = time
+            callback()
+        incomplete = [run.region.name for run in self._runs if not run.done]
+        if incomplete:
+            raise SchedulerError(
+                "simulation drained with incomplete regions "
+                f"{incomplete}: {self._diagnose()}")
+        overhead = sum(run.region.stats.overhead_time for run in self._runs)
+        return SimResult(self._now, [run.region for run in self._runs],
+                         overhead, self.trace)
+
+    # -------------------------------------------------------- GuardHost
+
+    def now(self) -> float:
+        return self._now
+
+    def schedule_run(self, task: FluidTask) -> None:
+        self._acquire_core_or_queue(task)
+
+    def task_completed(self, task: FluidTask) -> None:
+        run = self._task_region[id(task)]
+        if not run.done and run.region.complete:
+            self._finish_region(run)
+
+    def admit_dynamic_task(self, region: FluidRegion,
+                           task: FluidTask) -> None:
+        """A running task spawned ``task`` (dynamic graphs, Section 8)."""
+        run = self._run_for(region)
+        self._task_region[id(task)] = run
+        task.stats.enter(TaskState.INIT, self._now)
+        launch = self.overheads.guard_launch_cost(self._guards_launched)
+        self._guards_launched += 1
+        region.stats.overhead_time += launch
+        self._queue.push(self._now + launch,
+                         lambda: self._enter_start_check(task))
+        self._record("spawn", region.name, task.name, "dynamic")
+
+    # ------------------------------------------------------- admission
+
+    def _try_admissions(self) -> None:
+        # FCFS: regions are considered strictly in submission order; a
+        # region whose predecessors are unfinished blocks the ones behind
+        # it only if the slot limit is reached.
+        for run in self._runs:
+            if run.launched:
+                continue
+            if self._active_regions >= self.max_active_regions:
+                break
+            if any(not self._run_for(dep).done for dep in run.after):
+                continue
+            run.launched = True
+            self._active_regions += 1
+            setup = self.overheads.region_setup
+            run.region.stats.overhead_time += setup
+            self._queue.push(self._now + setup,
+                             lambda run=run: self._launch_region(run))
+
+    def _run_for(self, region: FluidRegion) -> _RegionRun:
+        for run in self._runs:
+            if run.region is region:
+                return run
+        raise SchedulerError(
+            f"region {region.name!r} in an 'after' clause was never submitted")
+
+    def _launch_region(self, run: _RegionRun) -> None:
+        region = run.region
+        graph = region.finalize()
+        region.bind_sink(self._sink)
+        region.dynamic_host = self
+        run.launch_time = self._now
+        run.coordinator = Coordinator(
+            self, graph, modulation=self.modulation,
+            trace=self._make_trace(region),
+            cancel_first_runs=self.cancel_first_runs)
+        for task in graph:
+            self._task_region[id(task)] = run
+            task.stats.enter(TaskState.INIT, self._now)
+            launch = self.overheads.guard_launch_cost(self._guards_launched)
+            self._guards_launched += 1
+            region.stats.overhead_time += launch
+            self._queue.push(
+                self._now + launch,
+                lambda task=task: self._enter_start_check(task))
+        self._record("launch", region.name, "", f"{len(graph)} tasks")
+
+    def _finish_region(self, run: _RegionRun) -> None:
+        run.done = True
+        self._active_regions -= 1
+        run.region.stats.makespan = self._now - run.launch_time
+        for task in run.region.tasks:
+            task.stats.finish(self._now)
+        self._record("region-done", run.region.name, "",
+                     f"makespan={run.region.stats.makespan:.3f}")
+        self._try_admissions()
+
+    # ----------------------------------------------------------- guards
+
+    def _enter_start_check(self, task: FluidTask) -> None:
+        if task.state is not TaskState.INIT:
+            return  # retired from INIT by a completion cascade
+        task.transition(TaskState.START_CHECK, self._now)
+        for valve in task.spec.start_valves:
+            for count in valve.watched_counts:
+                self._watchers.setdefault(id(count), {})[id(task)] = task
+        self._watch_final_inputs(task)
+        self._check_start(task)
+
+    def _watch_final_inputs(self, task: FluidTask) -> None:
+        # DataFinalValve-style conditions flip on mark_final, which emits
+        # no count update; re-check the task whenever an input finalizes.
+        for data in task.spec.inputs:
+            data.on_final(lambda _data, task=task: self._recheck(task))
+
+    def _recheck(self, task: FluidTask) -> None:
+        if task.state is TaskState.START_CHECK:
+            self._check_start(task)
+
+    def _check_start(self, task: FluidTask) -> None:
+        if task.state is not TaskState.START_CHECK:
+            return
+        run = self._task_region[id(task)]
+        run.region.stats.overhead_time += (
+            self.overheads.valve_check * max(1, len(task.spec.start_valves)))
+        if task.start_valves_satisfied():
+            self._acquire_core_or_queue(task)
+
+    # ------------------------------------------------------------ cores
+
+    def _acquire_core_or_queue(self, task: FluidTask) -> None:
+        if id(task) in self._queued:
+            return
+        if self._skip_pointless_rerun(task):
+            return
+        if self._free_cores > 0:
+            self._free_cores -= 1
+            self._begin_run(task)
+        else:
+            self._queued.add(id(task))
+            self._ready.append(task)
+
+    def _release_core(self) -> None:
+        self._free_cores += 1
+        while self._free_cores > 0 and self._ready:
+            task = self._ready.popleft()
+            self._queued.discard(id(task))
+            if task.state not in (TaskState.START_CHECK, TaskState.WAITING,
+                                  TaskState.DEP_STALLED):
+                continue  # completed (or started) while queued
+            if self._skip_pointless_rerun(task):
+                continue
+            if task.state is TaskState.START_CHECK and \
+                    not task.start_valves_satisfied():
+                # A non-monotone valve (e.g. convergence) flipped back off
+                # while the task sat in the queue; a later count update
+                # will re-check it.
+                continue
+            self._free_cores -= 1
+            self._begin_run(task)
+
+    def _skip_pointless_rerun(self, task: FluidTask) -> bool:
+        """Early termination before the body even starts (Section 6.1)."""
+        if not task.is_leaf and \
+                task.state in (TaskState.WAITING, TaskState.DEP_STALLED) and \
+                task.descendants_complete():
+            run = self._task_region[id(task)]
+            run.coordinator.skip_rerun(task)
+            return True
+        return False
+
+    # ------------------------------------------------------------- body
+
+    def _begin_run(self, task: FluidTask) -> None:
+        self._queued.discard(id(task))
+        task.transition(TaskState.RUNNING, self._now)
+        ctx = task.begin_run()
+        generator = task.make_generator(ctx)
+        self._generators[id(task)] = generator
+        self._record("run", task.region.name if task.region else "",
+                      task.name, f"attempt={task.run_index}")
+        self._advance(task)
+
+    def _advance(self, task: FluidTask) -> None:
+        """Execute the next chunk of ``task`` and schedule its completion."""
+        if task.cancel_requested:
+            self._generators.pop(id(task), None)
+            self._release_core()
+            run = self._task_region[id(task)]
+            run.coordinator.body_cancelled(task)
+            return
+        generator = self._generators[id(task)]
+        self._pending_updates = []
+        try:
+            cost = float(next(generator))
+        except StopIteration:
+            captured = self._pending_updates
+            self._pending_updates = None
+            self._body_done(task, captured)
+            return
+        except Exception as exc:
+            self._pending_updates = None
+            region_name = task.region.name if task.region else "?"
+            raise TaskBodyError(region_name, task.name,
+                                task.run_index, exc) from exc
+        captured = self._pending_updates
+        self._pending_updates = None
+        if cost < 0:
+            raise SchedulerError(
+                f"task {task.name!r} yielded a negative cost {cost}")
+        self._queue.push(self._now + cost,
+                         lambda: self._chunk_done(task, captured))
+
+    def _chunk_done(self, task: FluidTask,
+                    captured: List[Tuple[Count, Any]]) -> None:
+        self._publish(captured)
+        self._advance(task)
+
+    def _body_done(self, task: FluidTask,
+                   captured: List[Tuple[Count, Any]]) -> None:
+        self._generators.pop(id(task), None)
+        self._release_core()
+        task.transition(TaskState.END_CHECK, self._now)
+        run = self._task_region[id(task)]
+        run.region.stats.overhead_time += self.overheads.end_check
+
+        def finish():
+            # Mark outputs final (body_finished -> finish_run) *before*
+            # publishing the last chunk's count updates: a consumer whose
+            # start valve flips on the final update must observe the
+            # producer's data as final/precise, otherwise a fully
+            # serialized schedule would still record imprecise starts and
+            # re-execute spuriously.
+            run.coordinator.body_finished(task)
+            self._publish(captured)
+
+        self._queue.push(self._now + self.overheads.end_check, finish)
+
+    # ---------------------------------------------------------- updates
+
+    def _publish(self, captured: List[Tuple[Count, Any]]) -> None:
+        woken: Set[int] = set()
+        for count, value in captured:
+            count.dispatch(value)
+        for count, _value in captured:
+            watchers = self._watchers.get(id(count))
+            if not watchers:
+                continue
+            for task in tuple(watchers.values()):
+                if id(task) not in woken:
+                    woken.add(id(task))
+                    self._recheck(task)
+
+    # ------------------------------------------------------------ trace
+
+    def _make_trace(self, region: FluidRegion):
+        if self.trace is None:
+            return None
+        return lambda event, task, detail: self.trace.record(
+            self._now, region.name, task.name, event, detail)
+
+    def _record(self, event: str, region: str, task: str, detail: str) -> None:
+        if self.trace is not None:
+            self.trace.record(self._now, region, task, event, detail)
+
+    # ------------------------------------------------------------ debug
+
+    def _diagnose(self) -> str:
+        lines = []
+        for run in self._runs:
+            if run.done:
+                continue
+            for task in run.region.tasks:
+                if task.state is not TaskState.COMPLETE:
+                    valves = [f"{v.name}={v.check()}"
+                              for v in task.spec.start_valves]
+                    lines.append(f"{run.region.name}/{task.name} in "
+                                 f"{task.state} valves={valves}")
+        return "; ".join(lines) or "no pending tasks (admission stall?)"

@@ -1,0 +1,224 @@
+"""The real-thread backend: one guard thread per Fluid task.
+
+This backend mirrors the paper's implementation strategy directly: every
+task gets its own guard thread that polls start valves, runs the body,
+evaluates end conditions, and sleeps in W/D until signalled.  Under
+CPython the GIL serializes the actual computation, so this backend
+demonstrates *semantics* under genuine preemption and asynchrony — the
+performance experiments use the virtual-time simulator instead (see
+DESIGN.md, substitution table).
+
+All guard decisions go through the same :class:`~repro.core.guard.Coordinator`
+as the simulator, serialized by a per-executor lock, so the two backends
+cannot diverge semantically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.count import Count, UpdateSink
+from ..core.errors import SchedulerError, TaskBodyError
+from ..core.guard import Coordinator, GuardHost, ModulationPolicy
+from ..core.region import FluidRegion
+from ..core.states import TaskState
+from ..core.task import FluidTask
+from .executor import Executor, RunResult
+
+
+class _NotifyingSink(UpdateSink):
+    """Dispatches count updates under the executor lock and wakes guards."""
+
+    def __init__(self, executor: "ThreadExecutor"):
+        self.executor = executor
+
+    def count_updated(self, count: Count, value) -> None:
+        with self.executor._lock:
+            count.dispatch(value)
+            self.executor._condition.notify_all()
+
+
+class ThreadExecutor(Executor, GuardHost):
+    """Executes regions with one OS guard thread per task."""
+
+    def __init__(self, modulation: Optional[ModulationPolicy] = None,
+                 poll_interval: float = 0.002,
+                 timeout: float = 60.0,
+                 cancel_first_runs: bool = False):
+        self.modulation = modulation
+        self.cancel_first_runs = cancel_first_runs
+        self.poll_interval = poll_interval
+        self.timeout = timeout
+        self._lock = threading.RLock()
+        self._condition = threading.Condition(self._lock)
+        self._submissions: List[Tuple[FluidRegion, Tuple[FluidRegion, ...]]] = []
+        self._done_regions: set = set()
+        self._run_events: Dict[int, threading.Event] = {}
+        self._threads: List[threading.Thread] = []
+        self._epoch = 0.0
+        self._started = False
+        self._body_error: Optional[TaskBodyError] = None
+        self._coordinators: Dict[int, Coordinator] = {}
+
+    # ------------------------------------------------------------- public
+
+    def submit(self, region: FluidRegion,
+               after: Iterable[FluidRegion] = ()) -> FluidRegion:
+        self._submissions.append((region, tuple(after)))
+        return region
+
+    def run(self) -> RunResult:
+        if self._started:
+            raise SchedulerError("executors are single-shot; build a new one")
+        self._started = True
+        self._epoch = time.perf_counter()
+        deadline = self._epoch + self.timeout
+        sink = _NotifyingSink(self)
+        launched: set = set()
+        while True:
+            with self._lock:
+                for region, after in self._submissions:
+                    if id(region) in launched:
+                        continue
+                    if any(id(dep) not in self._done_regions for dep in after):
+                        continue
+                    launched.add(id(region))
+                    self._launch_region(region, sink)
+                if self._body_error is not None:
+                    raise self._body_error
+                if len(self._done_regions) == len(self._submissions):
+                    break
+                self._condition.wait(self.poll_interval * 10)
+            if time.perf_counter() > deadline:
+                raise SchedulerError(
+                    f"thread backend timed out after {self.timeout}s: "
+                    + self._diagnose())
+        for thread in self._threads:
+            thread.join(self.timeout)
+        makespan = time.perf_counter() - self._epoch
+        regions = [region for region, _after in self._submissions]
+        return RunResult(makespan, regions)
+
+    # ----------------------------------------------------------- plumbing
+
+    def now(self) -> float:
+        return time.perf_counter() - self._epoch
+
+    def schedule_run(self, task: FluidTask) -> None:
+        self._run_events[id(task)].set()
+
+    def task_completed(self, task: FluidTask) -> None:
+        region = task.region
+        if region.complete and id(region) not in self._done_regions:
+            self._done_regions.add(id(region))
+            region.stats.makespan = self.now()
+            for sibling in region.tasks:
+                sibling.stats.finish(self.now())
+        self._condition.notify_all()
+
+    def admit_dynamic_task(self, region: FluidRegion,
+                           task: FluidTask) -> None:
+        """A running task spawned ``task`` (dynamic graphs, Section 8).
+
+        Called from a guard thread mid-body (outside the lock); guard
+        creation is itself thread-safe."""
+        coordinator = self._coordinators[id(region)]
+        with self._lock:
+            task.stats.enter(TaskState.INIT, self.now())
+            self._run_events[id(task)] = threading.Event()
+        thread = threading.Thread(
+            target=self._guard_main, args=(task, coordinator),
+            name=f"guard-{region.name}-{task.name}", daemon=True)
+        self._threads.append(thread)
+        thread.start()
+
+    def _launch_region(self, region: FluidRegion, sink: UpdateSink) -> None:
+        graph = region.finalize()
+        region.bind_sink(sink)
+        region.dynamic_host = self
+        coordinator = Coordinator(self, graph, modulation=self.modulation,
+                                  cancel_first_runs=self.cancel_first_runs)
+        self._coordinators[id(region)] = coordinator
+        for task in graph:
+            task.stats.enter(TaskState.INIT, self.now())
+            self._run_events[id(task)] = threading.Event()
+            thread = threading.Thread(
+                target=self._guard_main, args=(task, coordinator),
+                name=f"guard-{region.name}-{task.name}", daemon=True)
+            self._threads.append(thread)
+            thread.start()
+
+    # --------------------------------------------------------- guard thread
+
+    def _guard_main(self, task: FluidTask, coordinator: Coordinator) -> None:
+        """The per-task guard: Figure 5 driven by a real thread."""
+        with self._lock:
+            if task.state is TaskState.INIT:
+                task.transition(TaskState.START_CHECK, self.now())
+            while task.state is TaskState.START_CHECK and \
+                    not task.start_valves_satisfied():
+                self._condition.wait(self.poll_interval)
+        run_event = self._run_events[id(task)]
+        while True:
+            with self._lock:
+                if task.state is TaskState.COMPLETE:
+                    return
+                if task.state is TaskState.START_CHECK:
+                    task.transition(TaskState.RUNNING, self.now())
+                elif task.state in (TaskState.WAITING, TaskState.DEP_STALLED):
+                    if not run_event.is_set():
+                        self._condition.wait(self.poll_interval)
+                        continue
+                    run_event.clear()
+                    task.transition(TaskState.RUNNING, self.now())
+                else:  # pragma: no cover - defensive
+                    self._condition.wait(self.poll_interval)
+                    continue
+                ctx = task.begin_run()
+                generator = task.make_generator(ctx)
+            cancelled = self._consume(task, generator)
+            with self._lock:
+                if task.state is TaskState.COMPLETE:
+                    return  # completed concurrently (cascade)
+                if cancelled:
+                    coordinator.body_cancelled(task)
+                else:
+                    task.transition(TaskState.END_CHECK, self.now())
+                    coordinator.body_finished(task)
+                self._condition.notify_all()
+
+    def _consume(self, task: FluidTask, generator) -> bool:
+        """Run the body outside the lock; honour cooperative cancellation.
+
+        A body exception is recorded and re-raised from :meth:`run` with
+        task context, instead of silently killing the guard thread."""
+        try:
+            for _cost in generator:
+                if task.cancel_requested:
+                    generator.close()
+                    return True
+        except Exception as exc:
+            region_name = task.region.name if task.region else "?"
+            error = TaskBodyError(region_name, task.name,
+                                  task.run_index, exc)
+            error.__cause__ = exc
+            with self._lock:
+                if self._body_error is None:
+                    self._body_error = error
+                self._condition.notify_all()
+            # Treat the failed run as cancelled so the guard thread winds
+            # down cleanly; run() re-raises the recorded error.
+            return True
+        return False
+
+    # ------------------------------------------------------------- debug
+
+    def _diagnose(self) -> str:
+        lines = []
+        for region, _after in self._submissions:
+            for task in region.tasks:
+                if task.state is not TaskState.COMPLETE:
+                    lines.append(f"{region.name}/{task.name}={task.state}")
+        return "; ".join(lines) or "all tasks complete (region bookkeeping?)"

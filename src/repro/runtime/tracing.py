@@ -1,0 +1,45 @@
+"""Execution traces: a timeline of scheduler and guard events.
+
+Traces serve two purposes: debugging fluidized programs (what re-executed
+and why) and the residence-time statistics behind Table 3.  Tracing is
+off by default; pass ``trace=True`` to an executor to collect one.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional
+
+
+class TraceEvent(NamedTuple):
+    time: float
+    region: str
+    task: str
+    event: str
+    detail: str
+
+
+class Trace:
+    """An append-only list of :class:`TraceEvent` with query helpers."""
+
+    def __init__(self):
+        self.events: List[TraceEvent] = []
+
+    def record(self, time: float, region: str, task: str,
+               event: str, detail: str = "") -> None:
+        self.events.append(TraceEvent(time, region, task, event, detail))
+
+    def for_task(self, task: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.task == task]
+
+    def count(self, event: str, task: Optional[str] = None) -> int:
+        return sum(1 for e in self.events
+                   if e.event == event and (task is None or e.task == task))
+
+    def render(self, limit: Optional[int] = None) -> str:
+        lines = [f"{e.time:12.3f}  {e.region:<20} {e.task:<18} "
+                 f"{e.event:<14} {e.detail}"
+                 for e in self.events[:limit]]
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,24 @@
+"""Synthetic workload generators.
+
+The paper evaluates on AxBench images, EM cell images, random graphs,
+Mnist/ImageNet and pdbbind; none of those ship here, so every input is
+generated — seeded and parameterized along the axes the paper's
+sensitivity studies actually vary (image noise/diversity, graph size and
+density, vector length, network/batch size, pose count).  See DESIGN.md
+substitution table.
+"""
+
+from .graphs import GraphInput, random_graph
+from .images import (image_classes, synthetic_image,
+                     synthetic_rgb_image)
+from .mnist import DigitDataset, synthetic_digits
+from .molecules import DockingInput, synthetic_poses
+from .signals import random_tensor, random_vector
+
+__all__ = [
+    "GraphInput", "random_graph",
+    "image_classes", "synthetic_image", "synthetic_rgb_image",
+    "DigitDataset", "synthetic_digits",
+    "DockingInput", "synthetic_poses",
+    "random_tensor", "random_vector",
+]

@@ -1,0 +1,34 @@
+"""Random vectors and tensors for the FFT and DCT workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def random_vector(length: int, seed: int = 0,
+                  num_tones: int = 5) -> np.ndarray:
+    """A seeded test signal: a few sinusoid tones plus noise.
+
+    Tonal content makes spectral error metrics meaningful (a pure-noise
+    signal would hide approximation error in the noise floor).
+    """
+    if length & (length - 1):
+        raise ValueError("FFT inputs must be a power of two")
+    rng = np.random.default_rng(seed)
+    t = np.arange(length) / length
+    signal = np.zeros(length)
+    for _ in range(num_tones):
+        freq = rng.integers(1, max(2, length // 4))
+        amp = rng.uniform(0.5, 2.0)
+        phase = rng.uniform(0, 2 * np.pi)
+        signal += amp * np.sin(2 * np.pi * freq * t + phase)
+    signal += rng.normal(0, 0.1, size=length)
+    return signal
+
+
+def random_tensor(height: int, width: int, seed: int = 0) -> np.ndarray:
+    """A seeded 2-D block-structured tensor for the DCT workload."""
+    rng = np.random.default_rng(seed)
+    ys, xs = np.mgrid[0:height, 0:width]
+    base = 64.0 * np.sin(xs / 5.0) * np.cos(ys / 7.0) + 128.0
+    return base + rng.normal(0, 4.0, size=(height, width))

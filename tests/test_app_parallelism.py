@@ -1,0 +1,90 @@
+"""Unit tests for the banded (multithreaded) decompositions of Fig. 12.
+
+The Figure-12 benchmark measures makespans; these tests pin the
+*correctness* of the parallel decompositions: band boundaries cover the
+domain exactly, per-band valves gate independently, and outputs remain
+within quality bounds at every degree of parallelism.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.edge_detection import EdgeDetectionApp
+from repro.apps.fft import FFTApp
+from repro.apps.graph_coloring import GraphColoringApp
+from repro.apps.kmeans import KMeansApp
+from repro.workloads import random_graph, random_vector, synthetic_image
+
+PARALLELISM = [1, 2, 3, 8]
+
+
+class TestEdgeDetectionBands:
+    @pytest.mark.parametrize("parallelism", PARALLELISM)
+    def test_banded_fluid_output_close_to_precise(self, parallelism):
+        app = EdgeDetectionApp(synthetic_image(32, 32, seed=211))
+        precise = app.run_precise()
+        fluid = app.run_fluid(parallelism=parallelism)
+        assert fluid.error < 0.1
+        assert fluid.output.shape == precise.output.shape
+
+    def test_band_count_respected(self):
+        app = EdgeDetectionApp(synthetic_image(32, 32, seed=211))
+        fluid = app.run_fluid(parallelism=4)
+        region = fluid.regions[0]
+        filters = [t for t in region.tasks if t.name.startswith("filter_")]
+        gradients = [t for t in region.tasks
+                     if t.name.startswith("gradient_")]
+        assert len(filters) == len(gradients) == 4
+
+    def test_more_bands_than_rows_clamped(self):
+        app = EdgeDetectionApp(synthetic_image(8, 8, seed=211))
+        fluid = app.run_fluid(parallelism=64)
+        region = fluid.regions[0]
+        filters = [t for t in region.tasks if t.name.startswith("filter_")]
+        assert len(filters) <= 8
+
+
+class TestKMeansBands:
+    @pytest.mark.parametrize("parallelism", PARALLELISM)
+    def test_banded_objective_bounded(self, parallelism):
+        app = KMeansApp(synthetic_image(24, 24, diversity=4, seed=212),
+                        num_clusters=4, epochs=4)
+        fluid = app.run_fluid(parallelism=parallelism)
+        assert fluid.error < 0.3
+
+    def test_assignments_fully_covered(self):
+        app = KMeansApp(synthetic_image(24, 24, diversity=4, seed=212),
+                        num_clusters=4, epochs=3)
+        fluid = app.run_fluid(parallelism=3)
+        _centroids, assignments = fluid.output
+        assert assignments.min() >= 0
+        assert assignments.max() < 4
+        assert len(assignments) == 24 * 24
+
+
+class TestGraphColoringBands:
+    @pytest.mark.parametrize("parallelism", [1, 2, 4])
+    def test_banded_coloring_proper(self, parallelism):
+        graph = random_graph(300, 1800, seed=213)
+        app = GraphColoringApp(graph)
+        fluid = app.run_fluid(parallelism=parallelism)
+        assert app.conflicts(fluid.output) == 0
+        assert (fluid.output >= 0).all()
+
+
+class TestFFTBatch:
+    def test_batch_parallelism_outputs_independent(self):
+        signals = [random_vector(128, seed=s) for s in range(4)]
+        app = FFTApp(signals)
+        fluid = app.run_fluid(parallelism=4)
+        for signal, spectrum in zip(signals, fluid.output):
+            reference = np.fft.fft(signal)
+            power = float(np.mean(np.abs(reference) ** 2))
+            err = float(np.mean(np.abs(spectrum - reference) ** 2)) / power
+            assert err < 0.01
+
+    def test_parallel_batch_faster_than_chained(self):
+        signals = [random_vector(256, seed=s) for s in range(4)]
+        chained = FFTApp(signals).run_fluid(parallelism=1).makespan
+        parallel = FFTApp(signals).run_fluid(parallelism=4).makespan
+        assert parallel < chained

@@ -1,0 +1,23 @@
+"""Tests for the standalone benchmark CLI (python -m repro.bench)."""
+
+from repro.bench.__main__ import main as bench_main
+
+
+class TestBenchCli:
+    def test_single_app(self, capsys):
+        assert bench_main(["--app", "dct"]) == 0
+        out = capsys.readouterr().out
+        assert "dct" in out and "AVERAGE" in out
+
+    def test_unknown_app(self, capsys):
+        assert bench_main(["--app", "nonsense"]) == 1
+
+    def test_sweep(self, capsys):
+        assert bench_main(["--sweep", "fft",
+                           "--thresholds", "0.3,1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "Threshold sweep" in out
+        assert "0.300" in out
+
+    def test_sweep_unknown_app(self):
+        assert bench_main(["--sweep", "nonsense"]) == 1

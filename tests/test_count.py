@@ -1,0 +1,136 @@
+"""Unit tests for repro.core.count."""
+
+import pytest
+
+from repro.core.count import Count, ImmediateSink, UpdateSink
+
+
+class RecordingSink(UpdateSink):
+    def __init__(self):
+        self.events = []
+
+    def count_updated(self, count, value):
+        self.events.append((count.name, value))
+
+
+class TestCountBasics:
+    def test_initial_value(self):
+        assert Count("ct").value == 0
+
+    def test_initial_value_custom(self):
+        assert Count("ct", initial=7).value == 7
+
+    def test_add_default_increment(self):
+        ct = Count("ct")
+        ct.add()
+        assert ct.value == 1
+
+    def test_add_delta(self):
+        ct = Count("ct")
+        ct.add(5)
+        ct.add(3)
+        assert ct.value == 8
+
+    def test_set_overwrites(self):
+        ct = Count("ct")
+        ct.set(42)
+        assert ct.value == 42
+
+    def test_updates_counter(self):
+        ct = Count("ct")
+        for _ in range(4):
+            ct.add()
+        assert ct.updates == 4
+
+    def test_reset_restores_initial(self):
+        ct = Count("ct", initial=3)
+        ct.add(10)
+        ct.reset()
+        assert ct.value == 3
+        assert ct.updates == 0
+
+    def test_float_counts(self):
+        ct = Count("avg", initial=0.0)
+        ct.add(0.5)
+        assert ct.value == pytest.approx(0.5)
+
+
+class TestTrackedStatistics:
+    def test_track_min_keeps_minimum(self):
+        ct = Count("energy", initial=0.0)
+        for value in (5.0, 3.0, 4.0, 1.0, 2.0):
+            ct.track_min(value)
+        assert ct.value == 1.0
+
+    def test_track_min_first_observation_wins(self):
+        ct = Count("energy", initial=999.0)
+        ct.track_min(5.0)
+        assert ct.value == 5.0
+
+    def test_track_min_counts_non_improving_updates(self):
+        # Convergence valves need every observation, improving or not.
+        ct = Count("energy")
+        ct.track_min(5.0)
+        ct.track_min(7.0)
+        ct.track_min(6.0)
+        assert ct.updates == 3
+        assert ct.value == 5.0
+
+    def test_track_max(self):
+        ct = Count("score")
+        for value in (1.0, 9.0, 4.0):
+            ct.track_max(value)
+        assert ct.value == 9.0
+
+
+class TestNotification:
+    def test_subscribers_see_updates(self):
+        ct = Count("ct")
+        seen = []
+        ct.subscribe(lambda count, value: seen.append(value))
+        ct.add()
+        ct.add(2)
+        assert seen == [1, 3]
+
+    def test_sink_receives_every_update(self):
+        sink = RecordingSink()
+        ct = Count("ct", sink=sink)
+        ct.add()
+        ct.set(9)
+        assert sink.events == [("ct", 1), ("ct", 9)]
+
+    def test_buffered_sink_defers_dispatch(self):
+        # A sink that swallows updates must prevent subscriber dispatch
+        # until it decides to publish.
+        class Buffering(UpdateSink):
+            def __init__(self):
+                self.held = []
+
+            def count_updated(self, count, value):
+                self.held.append((count, value))
+
+        sink = Buffering()
+        ct = Count("ct", sink=sink)
+        seen = []
+        ct.subscribe(lambda count, value: seen.append(value))
+        ct.add()
+        assert seen == []          # held back
+        assert ct.value == 1       # but the value is already visible
+        for count, value in sink.held:
+            count.dispatch(value)
+        assert seen == [1]
+
+    def test_bind_sink_replaces_routing(self):
+        ct = Count("ct")
+        sink = RecordingSink()
+        ct.bind_sink(sink)
+        ct.add()
+        assert sink.events == [("ct", 1)]
+
+    def test_multiple_subscribers(self):
+        ct = Count("ct")
+        a, b = [], []
+        ct.subscribe(lambda c, v: a.append(v))
+        ct.subscribe(lambda c, v: b.append(v))
+        ct.add()
+        assert a == [1] and b == [1]

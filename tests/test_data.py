@@ -1,0 +1,148 @@
+"""Unit tests for repro.core.data."""
+
+import pytest
+
+from repro.core.data import FluidArray, FluidData, FluidScalar
+from repro.core.errors import DataError
+
+
+class TestLifecycle:
+    def test_fresh_data_is_partial(self):
+        d = FluidData("d")
+        assert not d.final and not d.precise and d.version == 0
+
+    def test_region_input_is_final_and_precise(self):
+        d = FluidData("in", 42).mark_input()
+        assert d.final and d.precise
+        assert d.read_final() == 42
+
+    def test_write_bumps_version(self):
+        d = FluidData("d")
+        d.write(1)
+        d.write(2)
+        assert d.version == 2
+        assert d.read() == 2
+
+    def test_write_clears_finality(self):
+        d = FluidData("d", 0)
+        d.mark_final(precise=True)
+        d.write(1)
+        assert not d.final and not d.precise
+
+    def test_mark_final_imprecise(self):
+        d = FluidData("d", 5)
+        d.mark_final(precise=False)
+        assert d.final and not d.precise
+
+    def test_init_resets_state(self):
+        d = FluidData("d", 1)
+        d.write(2)
+        d.mark_final(precise=True)
+        d.init(9)
+        assert d.read() == 9
+        assert d.version == 0 and not d.final and not d.precise
+
+
+class TestAccessControl:
+    def test_read_final_rejects_partial(self):
+        d = FluidData("d", 1)
+        with pytest.raises(DataError):
+            d.read_final()
+
+    def test_read_final_after_mark_final(self):
+        d = FluidData("d", 1)
+        d.mark_final(precise=False)
+        assert d.read_final() == 1
+
+    def test_fluid_read_always_allowed(self):
+        d = FluidData("d", 3)
+        assert d.read() == 3
+
+
+class TestSnapshots:
+    def test_snapshot_captures_state(self):
+        d = FluidData("d", 0)
+        d.write(1)
+        snap = d.snapshot()
+        assert snap.version == 1 and not snap.final and not snap.precise
+
+    def test_advanced_by_new_version(self):
+        d = FluidData("d", 0)
+        snap = d.snapshot()
+        d.write(1)
+        assert snap.advanced_in(d)
+
+    def test_advanced_by_gaining_precision(self):
+        d = FluidData("d", 0)
+        d.write(1)
+        snap = d.snapshot()
+        d.mark_final(precise=True)
+        assert snap.advanced_in(d)
+
+    def test_not_advanced_when_unchanged(self):
+        d = FluidData("d", 0)
+        d.write(1)
+        snap = d.snapshot()
+        assert not snap.advanced_in(d)
+
+    def test_final_without_precision_is_not_advancement(self):
+        # mark_final(precise=False) does not bump version: the consumer
+        # already saw all writes; re-running on it would be pointless.
+        d = FluidData("d", 0)
+        d.write(1)
+        snap = d.snapshot()
+        d.mark_final(precise=False)
+        assert not snap.advanced_in(d)
+
+
+class TestWatchers:
+    def test_on_final_fires(self):
+        d = FluidData("d", 0)
+        fired = []
+        d.on_final(lambda data: fired.append(data.name))
+        d.mark_final(precise=True)
+        assert fired == ["d"]
+
+
+class TestFluidArray:
+    def test_len_and_indexing(self):
+        a = FluidArray("a", [10, 20, 30])
+        assert len(a) == 3
+        assert a[1] == 20
+
+    def test_setitem_bumps_version(self):
+        a = FluidArray("a", [0, 0])
+        a[0] = 5
+        a[1] = 6
+        assert a.version == 2
+        assert a.read() == [5, 6]
+
+    def test_fill_slice_is_one_write(self):
+        a = FluidArray("a", [0] * 6)
+        a.fill_slice(2, 5, [1, 2, 3])
+        assert a.read() == [0, 0, 1, 2, 3, 0]
+        assert a.version == 1
+
+    def test_empty_array_len(self):
+        assert len(FluidArray("a")) == 0
+
+    def test_numpy_payloads(self):
+        numpy = pytest.importorskip("numpy")
+        a = FluidArray("a", numpy.zeros(4))
+        a.fill_slice(0, 2, numpy.ones(2))
+        assert a.read()[0] == 1.0
+        assert a.version == 1
+
+    def test_touch_records_inplace_mutation(self):
+        a = FluidArray("a", [0])
+        a.read()[0] = 99  # mutate behind the cell's back
+        a.touch()
+        assert a.version == 1
+
+
+class TestScalar:
+    def test_scalar_is_fluid_data(self):
+        s = FluidScalar("s", 1.5)
+        s.write(2.5)
+        assert s.read() == 2.5
+        assert isinstance(s, FluidData)

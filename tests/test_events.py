@@ -1,0 +1,52 @@
+"""Unit tests for the discrete-event queue."""
+
+import pytest
+
+from repro.runtime.events import EventQueue
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        order = []
+        queue.push(3.0, lambda: order.append("c"))
+        queue.push(1.0, lambda: order.append("a"))
+        queue.push(2.0, lambda: order.append("b"))
+        while queue:
+            _, fn = queue.pop()
+            fn()
+        assert order == ["a", "b", "c"]
+
+    def test_simultaneous_events_fifo(self):
+        queue = EventQueue()
+        order = []
+        for label in "abcde":
+            queue.push(1.0, lambda label=label: order.append(label))
+        while queue:
+            queue.pop()[1]()
+        assert order == list("abcde")
+
+    def test_pop_returns_time(self):
+        queue = EventQueue()
+        queue.push(2.5, lambda: None)
+        time, _fn = queue.pop()
+        assert time == 2.5
+
+    def test_len_and_bool(self):
+        queue = EventQueue()
+        assert not queue and len(queue) == 0
+        queue.push(0.0, lambda: None)
+        assert queue and len(queue) == 1
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(-1.0, lambda: None)
+
+    def test_interleaved_push_pop(self):
+        queue = EventQueue()
+        seen = []
+        queue.push(1.0, lambda: queue.push(1.5, lambda: seen.append("nested")))
+        queue.push(2.0, lambda: seen.append("late"))
+        while queue:
+            queue.pop()[1]()
+        assert seen == ["nested", "late"]

@@ -1,0 +1,53 @@
+"""Smoke tests: every bundled example must run and make its point."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+
+def run_example(name, timeout=180):
+    result = subprocess.run(
+        [sys.executable, name], cwd=EXAMPLES, capture_output=True,
+        text=True, timeout=timeout)
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "speedup" in out
+        assert "outputs identical:         True" in out
+
+    def test_edge_detection_pipeline(self):
+        out = run_example("edge_detection_pipeline.py")
+        assert "fluid == serial:  True" in out
+        assert "matches library:  True" in out
+
+    def test_custom_valve_kmeans(self):
+        out = run_example("custom_valve_kmeans.py")
+        assert "percent valve" in out
+        assert "stability valve" in out
+
+    def test_compile_fluidpy(self):
+        out = run_example("compile_fluidpy.py")
+        assert "generated Python" in out
+        assert "[10.5, 20.5, 30.5, 40.5]" in out
+
+    def test_multithreaded_fluid(self):
+        out = run_example("multithreaded_fluid.py")
+        assert "region complete:     True" in out
+
+    def test_timeline_and_tuning(self):
+        out = run_example("timeline_and_tuning.py")
+        assert "legend" in out
+        assert "chosen threshold" in out
+
+    def test_dynamic_task_graph(self):
+        out = run_example("dynamic_task_graph.py")
+        assert "outputs agree with serial: True" in out
+        assert "spawn events in trace:    4" in out

@@ -1,0 +1,154 @@
+"""Unit tests for task graph inference and region validation."""
+
+import pytest
+
+from repro.core.data import FluidArray, FluidData
+from repro.core.errors import GraphError
+from repro.core.graph import TaskGraph
+from repro.core.task import FluidTask, TaskSpec
+from repro.core.valves import AlwaysValve
+
+
+def _body(ctx):
+    yield 1.0
+
+
+def task(name, inputs=(), outputs=(), end_valves=()):
+    return FluidTask(TaskSpec(name, _body, inputs=inputs, outputs=outputs,
+                              end_valves=end_valves))
+
+
+def data(name):
+    return FluidData(name)
+
+
+class TestTopologyInference:
+    def test_edge_from_shared_data(self):
+        d = data("d")
+        t1, t2 = task("t1", outputs=[d]), task("t2", inputs=[d])
+        graph = TaskGraph([t1, t2])
+        assert t2.parents == (t1,)
+        assert t1.children == (t2,)
+
+    def test_region_input_makes_no_edge(self):
+        src = data("src").mark_input()
+        t1 = task("t1", inputs=[src], outputs=[data("a")])
+        graph = TaskGraph([t1])
+        assert t1.parents == ()
+
+    def test_descendants_transitive(self):
+        a, b = data("a"), data("b")
+        t1 = task("t1", outputs=[a])
+        t2 = task("t2", inputs=[a], outputs=[b])
+        t3 = task("t3", inputs=[b])
+        graph = TaskGraph([t1, t2, t3])
+        assert {t.name for t in t1.descendants} == {"t2", "t3"}
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(GraphError):
+            TaskGraph([task("t"), task("t")])
+
+    def test_two_producers_rejected(self):
+        d = data("d")
+        with pytest.raises(GraphError, match="two producers"):
+            TaskGraph([task("t1", outputs=[d]), task("t2", outputs=[d])])
+
+    def test_producer_recorded_on_data(self):
+        d = data("d")
+        t1 = task("t1", outputs=[d])
+        TaskGraph([t1])
+        assert d.producer is t1
+
+    def test_diamond_parents(self):
+        a, l, r = data("a"), data("l"), data("r")
+        t0 = task("t0", outputs=[a])
+        tl = task("tl", inputs=[a], outputs=[l])
+        tr = task("tr", inputs=[a], outputs=[r])
+        tj = task("tj", inputs=[l, r])
+        graph = TaskGraph([t0, tl, tr, tj])
+        assert set(tj.parents) == {tl, tr}
+        assert set(t0.children) == {tl, tr}
+
+
+class TestTopoOrder:
+    def test_respects_dependencies(self):
+        a, b = data("a"), data("b")
+        t1 = task("t1", outputs=[a])
+        t2 = task("t2", inputs=[a], outputs=[b])
+        t3 = task("t3", inputs=[b])
+        order = [t.name for t in TaskGraph([t3, t1, t2]).topo_order()]
+        assert order.index("t1") < order.index("t2") < order.index("t3")
+
+    def test_cycle_detected(self):
+        a, b = data("a"), data("b")
+        t1 = task("t1", inputs=[b], outputs=[a])
+        t2 = task("t2", inputs=[a], outputs=[b])
+        with pytest.raises(GraphError, match="cyclic"):
+            TaskGraph([t1, t2]).topo_order()
+
+
+class TestValidation:
+    def test_valid_chain_passes(self):
+        a = data("a")
+        TaskGraph([task("t1", outputs=[a]), task("t2", inputs=[a])]).validate()
+
+    def test_empty_region_rejected(self):
+        with pytest.raises(GraphError, match="at least one task"):
+            TaskGraph([]).validate()
+
+    def test_multiple_roots_rejected(self):
+        a, b = data("a"), data("b")
+        t1 = task("t1", outputs=[a])
+        t2 = task("t2", outputs=[b])
+        t3 = task("t3", inputs=[a, b])
+        with pytest.raises(GraphError, match="exactly one root"):
+            TaskGraph([t1, t2, t3]).validate()
+
+    def test_end_valves_on_interior_task_rejected(self):
+        a = data("a")
+        t1 = task("t1", outputs=[a], end_valves=[AlwaysValve()])
+        t2 = task("t2", inputs=[a])
+        with pytest.raises(GraphError, match="end valves"):
+            TaskGraph([t1, t2]).validate()
+
+    def test_end_valves_on_leaf_allowed(self):
+        a = data("a")
+        t1 = task("t1", outputs=[a])
+        t2 = task("t2", inputs=[a], end_valves=[AlwaysValve()])
+        TaskGraph([t1, t2]).validate()
+
+    def test_single_task_region_valid(self):
+        TaskGraph([task("only")]).validate()
+
+    def test_unreachable_island_is_second_root(self):
+        a = data("a")
+        t1 = task("t1", outputs=[a])
+        t2 = task("t2", inputs=[a])
+        island = task("island")
+        with pytest.raises(GraphError):
+            TaskGraph([t1, t2, island]).validate()
+
+
+class TestRegionIO:
+    def test_region_inputs_are_unproduced(self):
+        src = data("src").mark_input()
+        a = data("a")
+        t1 = task("t1", inputs=[src], outputs=[a])
+        t2 = task("t2", inputs=[a])
+        graph = TaskGraph([t1, t2])
+        assert graph.region_inputs() == [src]
+
+    def test_region_outputs_come_from_leaves(self):
+        a, out = data("a"), data("out")
+        t1 = task("t1", outputs=[a])
+        t2 = task("t2", inputs=[a], outputs=[out])
+        graph = TaskGraph([t1, t2])
+        assert graph.region_outputs() == [out]
+
+    def test_roots_and_leaves(self):
+        a = data("a")
+        t1 = task("t1", outputs=[a])
+        t2 = task("t2", inputs=[a])
+        graph = TaskGraph([t1, t2])
+        assert graph.roots == [t1]
+        assert graph.leaves == [t2]

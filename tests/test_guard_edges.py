@@ -1,0 +1,136 @@
+"""Edge-case tests for guard coordination and modulation pressure."""
+
+import pytest
+
+from repro import (FluidRegion, ModulationPolicy, NeverValve, PercentValve,
+                   SimExecutor, TaskState)
+
+from util import make_chain, make_pipeline
+
+
+def run_sim(region, **kwargs):
+    executor = SimExecutor(cores=4, **kwargs)
+    executor.submit(region)
+    return executor.run()
+
+
+class TestModulationPressure:
+    def test_pressure_accumulates_on_failures(self):
+        policy = ModulationPolicy(fraction=0.5)
+        region = make_pipeline(n=30, producer_cost=2.0, consumer_cost=0.1,
+                               start_fraction=0.3)
+        run_sim(region, modulation=policy)
+        assert policy.failures >= 1
+        assert policy.pressure > 0.0
+
+    def test_zero_fraction_counts_failures_without_pressure(self):
+        policy = ModulationPolicy(fraction=0.0)
+        region = make_pipeline(n=30, producer_cost=2.0, consumer_cost=0.1,
+                               start_fraction=0.3)
+        run_sim(region, modulation=policy)
+        assert policy.failures >= 1
+        assert policy.pressure == 0.0
+
+    def test_adjust_moves_toward_one(self):
+        policy = ModulationPolicy(fraction=0.5)
+        policy.pressure = 0.5
+        assert policy.adjust(0.2) == pytest.approx(0.6)
+        assert policy.adjust(1.0) == 1.0
+
+    def test_pressure_bounded_below_one(self):
+        policy = ModulationPolicy(fraction=0.9)
+
+        class Dummy:
+            spec = type("S", (), {"start_valves": ()})()
+            parents = ()
+
+        for _ in range(100):
+            policy.on_quality_failure(Dummy())
+        # Converges to (at most) full serialization, never beyond.
+        assert policy.pressure <= 1.0
+        assert policy.adjust(0.3) <= 1.0
+
+
+class TestCancellationEdges:
+    def test_cancel_flag_set_only_when_sensible(self):
+        # In a chain with a fast leaf, middle tasks' re-runs may be
+        # cancelled, but a task's *first* run is never cancelled unless
+        # the executor opts in.
+        region = make_chain(depth=3, n=20, exact_quality=True,
+                            costs=[3.0, 1.0, 0.2])
+        run_sim(region)
+        for task in region.tasks:
+            if task.stats.cancelled_runs:
+                assert task.stats.runs >= 1  # at least one full run kept
+
+    def test_cancel_first_runs_flag_changes_behaviour(self):
+        def cancelled_total(flag):
+            region = make_pipeline(n=40, producer_cost=3.0,
+                                   consumer_cost=0.1, start_fraction=0.3,
+                                   end_fraction=0.35)
+            executor = SimExecutor(cores=4, cancel_first_runs=flag)
+            executor.submit(region)
+            executor.run()
+            return region.graph.task("produce").stats.cancelled_runs
+
+        # Lenient quality accepts the racing consumer early; with
+        # cancel_first_runs the producer's first run is terminated.
+        assert cancelled_total(True) >= 1
+        assert cancelled_total(False) == 0
+
+
+class TestStubbornIntermediate:
+    def test_interior_task_without_quality_never_blocks_region(self):
+        # All end valves impossible: the region must still finish by the
+        # precision override, regardless of how deep the chain is.
+        class Deep(FluidRegion):
+            def build(self):
+                n = 12
+                src = self.input_data("src", list(range(n)))
+                cells = [self.add_array(f"c{k}", [0] * n) for k in range(4)]
+                counts = [self.add_count(f"ct{k}") for k in range(4)]
+
+                def stage(k):
+                    def body(ctx):
+                        source = src.read() if k == 0 else cells[k - 1]
+                        for i in range(n):
+                            cells[k][i] = source[i] + 1
+                            counts[k].add()
+                            yield 0.5
+                    return body
+
+                previous = None
+                for k in range(4):
+                    start = []
+                    if k:
+                        start = [PercentValve(counts[k - 1], 0.25, n)]
+                    end = [NeverValve()] if k == 3 else []
+                    self.add_task(f"s{k}", stage(k), start_valves=start,
+                                  end_valves=end,
+                                  inputs=[src] if k == 0 else
+                                         [cells[k - 1]],
+                                  outputs=[cells[k]])
+
+        region = Deep("deep")
+        run_sim(region)
+        assert region.complete
+        assert region.output("c3") == [i + 4 for i in range(12)]
+
+
+class TestReusedRegionGuards:
+    def test_region_objects_are_single_shot(self):
+        region = make_pipeline(n=10)
+        run_sim(region)
+        executor = SimExecutor(cores=2)
+        executor.submit(region)
+        # Tasks are already COMPLETE; re-running the same region object
+        # must fail loudly rather than corrupt state.
+        with pytest.raises(Exception):
+            executor.run()
+
+    def test_terminal_states_frozen(self):
+        region = make_pipeline(n=10)
+        run_sim(region)
+        task = region.graph.task("consume")
+        with pytest.raises(Exception):
+            task.transition(TaskState.RUNNING, 0.0)

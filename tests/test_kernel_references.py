@@ -1,0 +1,105 @@
+"""Cross-validation of the app kernels against independent references.
+
+The precise versions of the evaluation kernels are checked against
+scipy/numpy/networkx implementations, so the accuracy metrics of the
+benchmarks rest on independently verified ground truth.
+"""
+
+import numpy as np
+import pytest
+
+networkx = pytest.importorskip("networkx")
+
+from repro.apps.dct import dct2_blocks_reference, dct_basis_reference
+from repro.apps.neural_network import NeuralNetworkApp
+from repro.workloads import (random_graph, random_tensor, synthetic_digits,
+                             synthetic_poses)
+from repro.workloads.graphs import (bellman_ford_reference,
+                                    greedy_coloring_reference)
+from repro.workloads.molecules import energy_reference
+
+
+class TestBellmanFordVsNetworkx:
+    def test_distances_match(self):
+        graph = random_graph(150, 600, seed=101)
+        mine = bellman_ford_reference(graph, source=0)
+        g = networkx.DiGraph()
+        g.add_nodes_from(range(graph.num_vertices))
+        for s, d, w in zip(graph.src.tolist(), graph.dst.tolist(),
+                           graph.weight.tolist()):
+            if g.has_edge(s, d):
+                g[s][d]["weight"] = min(g[s][d]["weight"], w)
+            else:
+                g.add_edge(s, d, weight=w)
+        lengths = networkx.single_source_dijkstra_path_length(
+            g, 0, weight="weight")
+        for vertex in range(graph.num_vertices):
+            expected = lengths.get(vertex, np.inf)
+            assert mine[vertex] == pytest.approx(expected, rel=1e-12)
+
+
+class TestColoringValidity:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_reference_coloring_is_proper_and_compact(self, seed):
+        graph = random_graph(80, 400, seed=seed)
+        colors = greedy_coloring_reference(graph)
+        for s, d in zip(graph.src.tolist(), graph.dst.tolist()):
+            if s != d:
+                assert colors[s] != colors[d]
+        # Greedy bound: at most max degree + 1 colors.
+        degrees = np.zeros(graph.num_vertices, dtype=int)
+        for s, d in zip(graph.src.tolist(), graph.dst.tolist()):
+            if s != d:
+                degrees[s] += 1
+                degrees[d] += 1
+        assert colors.max() <= degrees.max()
+
+
+class TestDCTBasis:
+    def test_basis_is_orthonormal(self):
+        basis = dct_basis_reference()
+        assert np.allclose(basis @ basis.T, np.eye(8), atol=1e-12)
+
+    def test_block_dct_matches_scipy(self):
+        scipy_fft = pytest.importorskip("scipy.fft")
+        tensor = random_tensor(16, 16, seed=7)
+        mine = dct2_blocks_reference(tensor)
+        for by in range(0, 16, 8):
+            for bx in range(0, 16, 8):
+                block = tensor[by:by + 8, bx:bx + 8]
+                expected = scipy_fft.dctn(block, norm="ortho")
+                assert np.allclose(mine[by:by + 8, bx:bx + 8], expected,
+                                   atol=1e-10)
+
+
+class TestNeuralNetworkFit:
+    def test_weights_deterministic(self):
+        dataset = synthetic_digits(samples=64, seed=5)
+        a = NeuralNetworkApp(dataset, seed=3)
+        b = NeuralNetworkApp(dataset, seed=3)
+        for (wa, _), (wb, _) in zip(a.weights, b.weights):
+            assert np.array_equal(wa, wb)
+
+    def test_different_seeds_differ(self):
+        dataset = synthetic_digits(samples=64, seed=5)
+        a = NeuralNetworkApp(dataset, seed=3)
+        b = NeuralNetworkApp(dataset, seed=4)
+        assert not np.array_equal(a.weights[0][0], b.weights[0][0])
+
+    def test_squeezed_pooling_halves_features(self):
+        dataset = synthetic_digits(samples=32, features=196, seed=5)
+        squeezed = NeuralNetworkApp(dataset, architecture="squeezed")
+        assert squeezed.pooled_inputs().shape == (32, 98)
+
+
+class TestDockingEnergy:
+    def test_translation_far_away_is_near_zero(self):
+        docking = synthetic_poses(num_poses=4, seed=9)
+        far_pose = docking.poses[0] + 100.0
+        from repro.workloads.molecules import pose_energy
+        assert abs(pose_energy(docking.protein, far_pose)) < 1e-6
+
+    def test_energies_finite(self):
+        docking = synthetic_poses(num_poses=16, seed=9)
+        energies = energy_reference(docking)
+        assert np.isfinite(energies).all()

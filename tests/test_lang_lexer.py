@@ -1,0 +1,73 @@
+"""Unit tests for the pragma tokenizer."""
+
+from repro.lang.diagnostics import DiagnosticSink
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokenKind
+
+
+def lex(text):
+    sink = DiagnosticSink()
+    tokens = tokenize(text, line=1, sink=sink)
+    return tokens, sink
+
+
+def kinds(tokens):
+    return [t.kind for t in tokens]
+
+
+class TestTokenizer:
+    def test_data_pragma_payload(self):
+        tokens, sink = lex("{Image *d1;}")
+        assert not sink.errors
+        assert kinds(tokens) == [
+            TokenKind.LBRACE, TokenKind.IDENT, TokenKind.STAR,
+            TokenKind.IDENT, TokenKind.SEMI, TokenKind.RBRACE,
+            TokenKind.END]
+
+    def test_guard_brackets(self):
+        tokens, _ = lex("<<<t1, {}, {}, {d1}, {d2}>>>")
+        assert tokens[0].kind is TokenKind.LGUARD
+        assert tokens[-2].kind is TokenKind.RGUARD
+
+    def test_guard_vs_comparison(self):
+        tokens, _ = lex("a < b")
+        assert [t.kind for t in tokens[:3]] == [
+            TokenKind.IDENT, TokenKind.OP, TokenKind.IDENT]
+
+    def test_numbers(self):
+        tokens, _ = lex("0.4 17 1e-3 2.5e4")
+        numbers = [t.text for t in tokens if t.kind is TokenKind.NUMBER]
+        assert numbers == ["0.4", "17", "1e-3", "2.5e4"]
+
+    def test_identifiers_with_underscores(self):
+        tokens, _ = lex("_private input_img2")
+        idents = [t.text for t in tokens if t.kind is TokenKind.IDENT]
+        assert idents == ["_private", "input_img2"]
+
+    def test_strings(self):
+        tokens, _ = lex("'hello' \"world\"")
+        strings = [t.text for t in tokens if t.kind is TokenKind.STRING]
+        assert strings == ["'hello'", '"world"']
+
+    def test_unterminated_string_reports_error(self):
+        _, sink = lex("'oops")
+        assert sink.errors
+
+    def test_columns_are_one_based(self):
+        tokens, _ = lex("{x}")
+        assert tokens[0].column == 1
+        assert tokens[1].column == 2
+
+    def test_operators(self):
+        tokens, _ = lex("a*b+c**2")
+        texts = [t.text for t in tokens if t.kind in
+                 (TokenKind.OP, TokenKind.STAR)]
+        assert texts == ["*", "+", "**"]
+
+    def test_unexpected_character(self):
+        _, sink = lex("a @ b")
+        assert any("unexpected" in str(d) for d in sink.errors)
+
+    def test_end_token_always_present(self):
+        tokens, _ = lex("")
+        assert tokens[-1].kind is TokenKind.END

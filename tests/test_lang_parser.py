@@ -1,0 +1,234 @@
+"""Unit tests for pragma and translation-unit parsing."""
+
+import textwrap
+
+import pytest
+
+from repro.lang.diagnostics import DiagnosticSink
+from repro.lang.parser import (parse_count_pragma, parse_data_pragma,
+                               parse_source, parse_task_pragma,
+                               parse_valve_pragma)
+
+
+def sink():
+    return DiagnosticSink("test.fpy")
+
+
+class TestDataPragma:
+    def test_scalar(self):
+        pragma = parse_data_pragma("{int x;}", 1, sink())
+        assert pragma.type_name == "int"
+        assert pragma.name == "x"
+        assert not pragma.is_array
+
+    def test_array(self):
+        pragma = parse_data_pragma("{Image *d1;}", 3, sink())
+        assert pragma.is_array and pragma.name == "d1" and pragma.line == 3
+
+    def test_semicolon_optional(self):
+        assert parse_data_pragma("{int x}", 1, sink()).name == "x"
+
+    def test_missing_brace_is_error(self):
+        diagnostics = sink()
+        assert parse_data_pragma("int x;", 1, diagnostics) is None
+        assert diagnostics.errors
+
+    def test_missing_name_is_error(self):
+        diagnostics = sink()
+        assert parse_data_pragma("{int;}", 1, diagnostics) is None
+        assert diagnostics.errors
+
+
+class TestCountPragma:
+    def test_basic(self):
+        pragma = parse_count_pragma("{int ct;}", 2, sink())
+        assert pragma.type_name == "int" and pragma.name == "ct"
+
+    def test_generic_type(self):
+        pragma = parse_count_pragma("{float total;}", 2, sink())
+        assert pragma.type_name == "float"
+
+
+class TestValvePragma:
+    def test_two_phase_declaration(self):
+        pragma = parse_valve_pragma("{ValveCT v1;}", 4, sink())
+        assert pragma.valve_type == "ValveCT"
+        assert pragma.name == "v1"
+        assert pragma.args_src is None
+
+    def test_inline_constructor_args(self):
+        pragma = parse_valve_pragma("{ValveCT v1(ct, 0.4 * n);}", 4, sink())
+        assert pragma.args_src == "ct, 0.4 * n"
+
+    def test_nested_parens_in_args(self):
+        pragma = parse_valve_pragma("{ValvePred v(p(a, b), q);}", 1, sink())
+        assert pragma.args_src == "p(a, b), q"
+
+    def test_unbalanced_parens_error(self):
+        diagnostics = sink()
+        assert parse_valve_pragma("{ValveCT v(ct;}", 1, diagnostics) is None
+        assert diagnostics.errors
+
+
+class TestTaskPragma:
+    def test_full_guard(self):
+        pragma = parse_task_pragma(
+            "<<<t2, {v1}, {v2}, {d2}, {d3}>>> Sobel(img, out)", 21, sink())
+        assert pragma.task_name == "t2"
+        assert pragma.start_valves == ["v1"]
+        assert pragma.end_valves == ["v2"]
+        assert pragma.inputs == ["d2"]
+        assert pragma.outputs == ["d3"]
+        assert pragma.func_name == "Sobel"
+        assert pragma.args_src == "img, out"
+
+    def test_empty_sets(self):
+        pragma = parse_task_pragma(
+            "<<<t1, {}, {}, {d1}, {d2}>>> Gaussian(a, b, ct)", 18, sink())
+        assert pragma.start_valves == [] and pragma.end_valves == []
+
+    def test_multiple_names_per_set(self):
+        pragma = parse_task_pragma(
+            "<<<j, {v1, v2}, {}, {a, b}, {c}>>> join()", 1, sink())
+        assert pragma.start_valves == ["v1", "v2"]
+        assert pragma.inputs == ["a", "b"]
+
+    def test_dotted_function(self):
+        pragma = parse_task_pragma(
+            "<<<t, {}, {}, {d}, {e}>>> self.kernel(x)", 1, sink())
+        assert pragma.func_name == "self.kernel"
+
+    def test_no_args_call(self):
+        pragma = parse_task_pragma(
+            "<<<t, {}, {}, {d}, {e}>>> go()", 1, sink())
+        assert pragma.args_src == ""
+
+    def test_nested_call_args(self):
+        pragma = parse_task_pragma(
+            "<<<t, {}, {}, {d}, {e}>>> go(f(x, 2), y)", 1, sink())
+        assert pragma.args_src == "f(x, 2), y"
+
+    def test_missing_guard_is_error(self):
+        diagnostics = sink()
+        assert parse_task_pragma("t1, {}, {}", 1, diagnostics) is None
+        assert diagnostics.errors
+
+    def test_wrong_set_count_is_error(self):
+        diagnostics = sink()
+        assert parse_task_pragma(
+            "<<<t1, {}, {d1}, {d2}>>> f()", 1, diagnostics) is None
+        assert diagnostics.errors
+
+
+FLUID_SOURCE = textwrap.dedent('''
+    import math
+
+    __fluid__
+    class Demo:
+        #pragma data {int *a;}
+        #pragma data {int *b;}
+        #pragma count {int ct;}
+        #pragma valve {ValveCT v;}
+
+        helper_constant = 42
+
+        def work(self, ctx, ct):
+            for i in range(4):
+                self.b[i] = self.a[i]
+                ct.add()
+                yield 1.0
+
+        def finish(self, ctx):
+            for i in range(4):
+                yield 1.0
+
+        def region(self):
+            a.init([1, 2, 3, 4])
+            b.init([0, 0, 0, 0])
+            #pragma task <<<t1, {}, {}, {a}, {b}>>> work(ct)
+            v.init(ct, 2)
+            sync(t1)
+
+    class NotFluid:
+        pass
+''')
+
+
+class TestTranslationUnit:
+    def test_fluid_class_found(self):
+        unit, diagnostics = parse_source(FLUID_SOURCE, "demo.fpy")
+        assert not diagnostics.errors
+        assert [fc.name for fc in unit.classes] == ["Demo"]
+
+    def test_non_fluid_class_ignored(self):
+        unit, _ = parse_source(FLUID_SOURCE, "demo.fpy")
+        names = [fc.name for fc in unit.classes]
+        assert "NotFluid" not in names
+
+    def test_members_collected(self):
+        unit, _ = parse_source(FLUID_SOURCE, "demo.fpy")
+        fc = unit.classes[0]
+        assert [d.name for d in fc.datas] == ["a", "b"]
+        assert [c.name for c in fc.counts] == ["ct"]
+        assert [v.name for v in fc.valves] == ["v"]
+
+    def test_methods_collected(self):
+        unit, _ = parse_source(FLUID_SOURCE, "demo.fpy")
+        fc = unit.classes[0]
+        assert {m.name for m in fc.methods} == {"work", "finish"}
+        assert all(m.is_generator for m in fc.methods)
+
+    def test_region_statements_classified(self):
+        unit, _ = parse_source(FLUID_SOURCE, "demo.fpy")
+        fc = unit.classes[0]
+        kinds = [s.kind for s in fc.region_body if s.text.strip()]
+        assert "task" in kinds and "sync" in kinds and "python" in kinds
+
+    def test_class_assigns_pass_through(self):
+        unit, _ = parse_source(FLUID_SOURCE, "demo.fpy")
+        assert any("helper_constant" in text
+                   for text in unit.classes[0].class_assigns)
+
+    def test_orphan_marker_is_error(self):
+        _, diagnostics = parse_source("__fluid__\nx = 1\n", "bad.fpy")
+        assert diagnostics.errors
+
+    def test_region_required(self):
+        source = textwrap.dedent('''
+            __fluid__
+            class NoRegion:
+                #pragma data {int x;}
+                placeholder = None
+        ''')
+        _, diagnostics = parse_source(source, "bad.fpy")
+        assert any("no region()" in str(d) for d in diagnostics.errors)
+
+    def test_init_rejected(self):
+        source = textwrap.dedent('''
+            __fluid__
+            class HasInit:
+                #pragma data {int x;}
+                def __init__(self):
+                    pass
+                def region(self):
+                    pass
+        ''')
+        _, diagnostics = parse_source(source, "bad.fpy")
+        assert any("__init__" in str(d) for d in diagnostics.errors)
+
+    def test_task_pragma_outside_region_is_error(self):
+        source = textwrap.dedent('''
+            __fluid__
+            class Misplaced:
+                #pragma data {int x;}
+                #pragma task <<<t, {}, {}, {x}, {x}>>> f()
+                def region(self):
+                    pass
+        ''')
+        _, diagnostics = parse_source(source, "bad.fpy")
+        assert any("only allowed inside region" in str(d)
+                   for d in diagnostics.errors)
+
+    def test_host_syntax_error_reported(self):
+        _, diagnostics = parse_source("def broken(:\n", "bad.fpy")
+        assert any("syntax error" in str(d) for d in diagnostics.errors)

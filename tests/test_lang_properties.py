@@ -1,0 +1,104 @@
+"""Property-based tests for the FluidPy pragma parser and lexer."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lang.diagnostics import DiagnosticSink
+from repro.lang.lexer import tokenize
+from repro.lang.parser import (parse_count_pragma, parse_data_pragma,
+                               parse_task_pragma, parse_valve_pragma)
+from repro.lang.tokens import TokenKind
+
+identifier = st.from_regex(r"[a-zA-Z_][a-zA-Z0-9_]{0,12}", fullmatch=True
+                           ).filter(lambda s: s not in ("in", "if", "for"))
+name_list = st.lists(identifier, min_size=0, max_size=4, unique=True)
+
+
+def fresh_sink():
+    return DiagnosticSink("prop.fpy")
+
+
+@settings(max_examples=150, deadline=None)
+@given(type_name=identifier, member=identifier,
+       is_array=st.booleans(), with_semi=st.booleans())
+def test_data_pragma_roundtrip(type_name, member, is_array, with_semi):
+    star = "*" if is_array else ""
+    semi = ";" if with_semi else ""
+    payload = f"{{{type_name} {star}{member}{semi}}}"
+    sink = fresh_sink()
+    pragma = parse_data_pragma(payload, 1, sink)
+    assert not sink.errors
+    assert pragma.type_name == type_name
+    assert pragma.name == member
+    assert pragma.is_array == is_array
+
+
+@settings(max_examples=100, deadline=None)
+@given(type_name=identifier, member=identifier)
+def test_count_pragma_roundtrip(type_name, member):
+    sink = fresh_sink()
+    pragma = parse_count_pragma(f"{{{type_name} {member};}}", 3, sink)
+    assert not sink.errors
+    assert (pragma.type_name, pragma.name, pragma.line) == \
+        (type_name, member, 3)
+
+
+@settings(max_examples=100, deadline=None)
+@given(valve_type=identifier, member=identifier,
+       args=st.one_of(st.none(),
+                      st.lists(identifier, min_size=1, max_size=3)))
+def test_valve_pragma_roundtrip(valve_type, member, args):
+    args_src = ", ".join(args) if args else None
+    payload = f"{{{valve_type} {member}"
+    if args_src:
+        payload += f"({args_src})"
+    payload += ";}"
+    sink = fresh_sink()
+    pragma = parse_valve_pragma(payload, 1, sink)
+    assert not sink.errors
+    assert pragma.valve_type == valve_type
+    assert pragma.name == member
+    if args_src:
+        assert pragma.args_src == args_src
+    else:
+        assert pragma.args_src is None
+
+
+@settings(max_examples=150, deadline=None)
+@given(task=identifier, sv=name_list, ev=name_list,
+       inputs=name_list, outputs=name_list,
+       func=identifier, args=st.lists(identifier, max_size=3))
+def test_task_pragma_roundtrip(task, sv, ev, inputs, outputs, func, args):
+    args_src = ", ".join(args)
+    payload = (f"<<<{task}, {{{', '.join(sv)}}}, {{{', '.join(ev)}}}, "
+               f"{{{', '.join(inputs)}}}, {{{', '.join(outputs)}}}>>> "
+               f"{func}({args_src})")
+    sink = fresh_sink()
+    pragma = parse_task_pragma(payload, 7, sink)
+    assert not sink.errors
+    assert pragma.task_name == task
+    assert pragma.start_valves == sv
+    assert pragma.end_valves == ev
+    assert pragma.inputs == inputs
+    assert pragma.outputs == outputs
+    assert pragma.func_name == func
+    assert pragma.args_src == args_src
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.text(alphabet=st.characters(
+    whitelist_categories=("Lu", "Ll", "Nd"),
+    whitelist_characters=" _{}();,*.<>+-/"), max_size=60))
+def test_lexer_never_crashes_and_terminates(payload):
+    sink = fresh_sink()
+    tokens = tokenize(payload, 1, sink)
+    assert tokens[-1].kind is TokenKind.END
+    # Token count is bounded by input length plus the END sentinel.
+    assert len(tokens) <= len(payload) + 1
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(min_value=0, max_value=10 ** 9))
+def test_lexer_numbers(value):
+    tokens = tokenize(str(value), 1, fresh_sink())
+    assert tokens[0].kind is TokenKind.NUMBER
+    assert tokens[0].text == str(value)

@@ -1,0 +1,331 @@
+"""Unit tests for FluidPy semantic analysis."""
+
+import textwrap
+
+from repro.lang.diagnostics import DiagnosticSink
+from repro.lang.parser import parse_source
+from repro.lang.semantics import analyze_class
+
+
+def analyze(source):
+    unit, sink = parse_source(textwrap.dedent(source), "sem.fpy")
+    for fluid_class in unit.classes:
+        analyze_class(fluid_class, sink)
+    return sink
+
+
+VALID = '''
+__fluid__
+class Good:
+    #pragma data {int *a;}
+    #pragma data {int *b;}
+    #pragma count {int ct;}
+    #pragma valve {ValveCT v;}
+
+    def produce(self, ctx, ct):
+        for i in range(4):
+            self.b[i] = self.a[i]
+            ct.add()
+            yield 1.0
+
+    def consume(self, ctx):
+        yield 1.0
+
+    def region(self):
+        a.init([1, 2, 3, 4])
+        #pragma task <<<t1, {}, {}, {a}, {b}>>> produce(ct)
+        v.init(ct, 2)
+'''
+
+
+class TestValidPrograms:
+    def test_valid_program_clean(self):
+        sink = analyze(VALID)
+        assert not sink.errors
+
+
+class TestMemberRules:
+    def test_no_data_members(self):
+        sink = analyze('''
+            __fluid__
+            class NoData:
+                #pragma count {int ct;}
+                def work(self, ctx):
+                    yield 1.0
+                def region(self):
+                    pass
+        ''')
+        assert any("no fluid data" in str(d) for d in sink.errors)
+
+    def test_duplicate_member_names(self):
+        sink = analyze('''
+            __fluid__
+            class Dup:
+                #pragma data {int *x;}
+                #pragma count {int x;}
+                def work(self, ctx):
+                    yield 1.0
+                def region(self):
+                    #pragma task <<<t, {}, {}, {x}, {x}>>> work()
+                    pass
+        ''')
+        assert any("duplicate fluid member" in str(d) for d in sink.errors)
+
+    def test_unknown_valve_type(self):
+        sink = analyze('''
+            __fluid__
+            class BadValve:
+                #pragma data {int *x;}
+                #pragma valve {ValveMystery v;}
+                def work(self, ctx):
+                    yield 1.0
+                def region(self):
+                    #pragma task <<<t, {}, {}, {}, {x}>>> work()
+                    pass
+        ''')
+        assert any("unknown valve type" in str(d) for d in sink.errors)
+
+    def test_member_method_collision(self):
+        sink = analyze('''
+            __fluid__
+            class Clash:
+                #pragma data {int *work;}
+                def work(self, ctx):
+                    yield 1.0
+                def region(self):
+                    #pragma task <<<t, {}, {}, {}, {work}>>> work()
+                    pass
+        ''')
+        assert any("collides" in str(d) for d in sink.errors)
+
+
+class TestTaskRules:
+    def test_no_tasks(self):
+        sink = analyze('''
+            __fluid__
+            class Empty:
+                #pragma data {int *x;}
+                def work(self, ctx):
+                    yield 1.0
+                def region(self):
+                    pass
+        ''')
+        assert any("schedules no tasks" in str(d) for d in sink.errors)
+
+    def test_undeclared_valve_reference(self):
+        sink = analyze('''
+            __fluid__
+            class Missing:
+                #pragma data {int *x;}
+                def work(self, ctx):
+                    yield 1.0
+                def region(self):
+                    #pragma task <<<t, {ghost}, {}, {}, {x}>>> work()
+                    pass
+        ''')
+        assert any("undeclared valve" in str(d) for d in sink.errors)
+
+    def test_undeclared_data_reference(self):
+        sink = analyze('''
+            __fluid__
+            class Missing:
+                #pragma data {int *x;}
+                def work(self, ctx):
+                    yield 1.0
+                def region(self):
+                    #pragma task <<<t, {}, {}, {ghost}, {x}>>> work()
+                    pass
+        ''')
+        assert any("undeclared data" in str(d) for d in sink.errors)
+
+    def test_unknown_method(self):
+        sink = analyze('''
+            __fluid__
+            class NoMethod:
+                #pragma data {int *x;}
+                def region(self):
+                    #pragma task <<<t, {}, {}, {}, {x}>>> missing()
+                    pass
+        ''')
+        assert any("not a method" in str(d) for d in sink.errors)
+
+    def test_non_generator_method(self):
+        sink = analyze('''
+            __fluid__
+            class NotGen:
+                #pragma data {int *x;}
+                def work(self, ctx):
+                    return 42
+                def region(self):
+                    #pragma task <<<t, {}, {}, {}, {x}>>> work()
+                    pass
+        ''')
+        assert any("must be a generator" in str(d) for d in sink.errors)
+
+    def test_wrong_signature(self):
+        sink = analyze('''
+            __fluid__
+            class BadSig:
+                #pragma data {int *x;}
+                def work(self):
+                    yield 1.0
+                def region(self):
+                    #pragma task <<<t, {}, {}, {}, {x}>>> work()
+                    pass
+        ''')
+        assert any("(self, ctx" in str(d) for d in sink.errors)
+
+    def test_duplicate_task_names(self):
+        sink = analyze('''
+            __fluid__
+            class DupTask:
+                #pragma data {int *x;}
+                #pragma data {int *y;}
+                def work(self, ctx):
+                    yield 1.0
+                def region(self):
+                    #pragma task <<<t, {}, {}, {}, {x}>>> work()
+                    #pragma task <<<t, {}, {}, {x}, {y}>>> work()
+                    pass
+        ''')
+        assert any("duplicate task name" in str(d) for d in sink.errors)
+
+
+class TestGraphRules:
+    def test_two_roots(self):
+        sink = analyze('''
+            __fluid__
+            class TwoRoots:
+                #pragma data {int *a;}
+                #pragma data {int *b;}
+                def work(self, ctx):
+                    yield 1.0
+                def region(self):
+                    #pragma task <<<t1, {}, {}, {}, {a}>>> work()
+                    #pragma task <<<t2, {}, {}, {}, {b}>>> work()
+                    pass
+        ''')
+        assert any("root" in str(d) for d in sink.errors)
+
+    def test_two_producers(self):
+        sink = analyze('''
+            __fluid__
+            class TwoProducers:
+                #pragma data {int *a;}
+                #pragma data {int *b;}
+                def work(self, ctx):
+                    yield 1.0
+                def region(self):
+                    #pragma task <<<t1, {}, {}, {}, {a}>>> work()
+                    #pragma task <<<t2, {}, {}, {a}, {b}>>> work()
+                    #pragma task <<<t3, {}, {}, {a}, {b}>>> work()
+                    pass
+        ''')
+        assert any("produced by both" in str(d) for d in sink.errors)
+
+    def test_end_valve_on_interior(self):
+        sink = analyze('''
+            __fluid__
+            class InteriorQuality:
+                #pragma data {int *a;}
+                #pragma data {int *b;}
+                #pragma count {int ct;}
+                #pragma valve {ValveCT q;}
+                def work(self, ctx):
+                    ct = self.ct
+                    yield 1.0
+                def region(self):
+                    q.init(ct, 1)
+                    #pragma task <<<t1, {}, {q}, {}, {a}>>> work()
+                    #pragma task <<<t2, {}, {}, {a}, {b}>>> work()
+                    pass
+        ''')
+        assert any("not a leaf" in str(d) for d in sink.errors)
+
+    def test_cycle_detected(self):
+        sink = analyze('''
+            __fluid__
+            class Cycle:
+                #pragma data {int *a;}
+                #pragma data {int *b;}
+                def work(self, ctx):
+                    yield 1.0
+                def region(self):
+                    #pragma task <<<t1, {}, {}, {b}, {a}>>> work()
+                    #pragma task <<<t2, {}, {}, {a}, {b}>>> work()
+                    pass
+        ''')
+        assert any("cyclic" in str(d) or "root" in str(d)
+                   for d in sink.errors)
+
+
+class TestWarnings:
+    def test_unused_valve_warns(self):
+        sink = analyze('''
+            __fluid__
+            class UnusedValve:
+                #pragma data {int *x;}
+                #pragma valve {ValveCT v;}
+                def work(self, ctx):
+                    yield 1.0
+                def region(self):
+                    #pragma task <<<t, {}, {}, {}, {x}>>> work()
+                    pass
+        ''')
+        assert any("never attached" in str(d) for d in sink.warnings)
+
+    def test_unused_count_warns(self):
+        sink = analyze('''
+            __fluid__
+            class UnusedCount:
+                #pragma data {int *x;}
+                #pragma count {int ct;}
+                def work(self, ctx):
+                    yield 1.0
+                def region(self):
+                    #pragma task <<<t, {}, {}, {}, {x}>>> work()
+                    pass
+        ''')
+        assert any("never read" in str(d) for d in sink.warnings)
+
+
+class TestArgumentExpressions:
+    def test_bad_task_call_args_rejected(self):
+        sink = analyze('''
+            __fluid__
+            class BadArgs:
+                #pragma data {int *x;}
+                def work(self, ctx, a):
+                    yield 1.0
+                def region(self):
+                    #pragma task <<<t, {}, {}, {}, {x}>>> work(1,,)
+                    pass
+        ''')
+        assert any("not a valid Python" in str(d) for d in sink.errors)
+
+    def test_bad_valve_args_rejected(self):
+        sink = analyze('''
+            __fluid__
+            class BadValve:
+                #pragma data {int *x;}
+                #pragma valve {ValveCT v(ct, *);}
+                def work(self, ctx):
+                    yield 1.0
+                def region(self):
+                    #pragma task <<<t, {}, {}, {}, {x}>>> work()
+                    pass
+        ''')
+        assert any("not a valid Python" in str(d) for d in sink.errors)
+
+    def test_complex_valid_args_accepted(self):
+        sink = analyze('''
+            __fluid__
+            class GoodArgs:
+                #pragma data {int *x;}
+                def work(self, ctx, a, b):
+                    yield 1.0
+                def region(self):
+                    #pragma task <<<t, {}, {}, {}, {x}>>> work(self.f(1) * 2, [i for i in range(3)])
+                    pass
+        ''')
+        assert not any("not a valid Python" in str(d) for d in sink.errors)

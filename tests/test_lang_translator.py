@@ -1,0 +1,173 @@
+"""End-to-end tests for the FluidPy translator: codegen + execution."""
+
+import textwrap
+
+import pytest
+
+from repro import CompileError, SimExecutor, run_serial
+from repro.lang import (check_source, load_source, translate_source)
+from repro.lang.__main__ import main as cli_main
+
+
+EDGE_SOURCE = textwrap.dedent('''
+    """Edge detection, fluidized (mirrors paper Figure 3)."""
+
+    __fluid__
+    class EdgeDetection:
+        #pragma data {Image *d1;}
+        #pragma data {Image *d2;}
+        #pragma data {Image *d3;}
+        #pragma count {int ct;}
+        #pragma valve {ValveCT v1;}
+        #pragma valve {ValveCT v2;}
+
+        def gaussian(self, ctx, ct):
+            img = self.d1.read()
+            for i in range(self.size):
+                self.d2[i] = img[i] // 2
+                ct.add()
+                yield 1.0
+
+        def sobel(self, ctx):
+            for i in range(self.size):
+                self.d3[i] = self.d2[i] + 100
+                yield 1.0
+
+        def region(self):
+            d1.init(self.input_img)
+            d2.init([0] * self.size)
+            d3.init([0] * self.size)
+            ct.init(0)
+            #pragma task <<<t1, {}, {}, {d1}, {d2}>>> gaussian(ct)
+            v1.init(ct, 0.4 * self.size)
+            v2.init(ct, 1.0 * self.size)
+            #pragma task <<<t2, {v1}, {v2}, {d2}, {d3}>>> sobel()
+            sync(t2)
+''')
+
+
+class TestCodegenShape:
+    def test_generates_fluid_region_subclass(self):
+        result = translate_source(EDGE_SOURCE, "edge.fpy")
+        assert "class EdgeDetection(_fluid.FluidRegion):" in \
+            result.python_source
+
+    def test_pragmas_become_declarations(self):
+        src = translate_source(EDGE_SOURCE, "edge.fpy").python_source
+        assert "self.add_array('d1')" in src
+        assert "self.add_count('ct')" in src
+        assert "declare_valve('ValveCT', 'v1')" in src
+
+    def test_task_pragmas_become_add_task(self):
+        src = translate_source(EDGE_SOURCE, "edge.fpy").python_source
+        assert "self.add_task(" in src
+        assert "bind_task(self.gaussian, (ct,))" in src
+        assert "start_valves=[v1], end_valves=[v2]" in src
+
+    def test_sync_elided(self):
+        src = translate_source(EDGE_SOURCE, "edge.fpy").python_source
+        assert "sync(t2)" not in src.replace("# sync(t2)", "")
+
+    def test_methods_pass_through(self):
+        src = translate_source(EDGE_SOURCE, "edge.fpy").python_source
+        assert "def gaussian(self, ctx, ct):" in src
+
+    def test_module_docstring_passthrough(self):
+        src = translate_source(EDGE_SOURCE, "edge.fpy").python_source
+        assert "mirrors paper Figure 3" in src
+
+    def test_generated_source_is_valid_python(self):
+        src = translate_source(EDGE_SOURCE, "edge.fpy").python_source
+        compile(src, "edge_generated.py", "exec")
+
+    def test_class_names_listed(self):
+        result = translate_source(EDGE_SOURCE, "edge.fpy")
+        assert result.class_names == ["EdgeDetection"]
+
+
+class TestExecution:
+    def _build(self, n=40):
+        namespace = load_source(EDGE_SOURCE, "edge.fpy")
+        factory = namespace["EdgeDetection"]
+        return factory(input_img=[i * 2 for i in range(n)], size=n), n
+
+    def test_translated_region_runs_fluid(self):
+        region, n = self._build()
+        executor = SimExecutor(cores=4)
+        executor.submit(region)
+        executor.run()
+        assert region.output("d3") == [i + 100 for i in range(n)]
+
+    def test_translated_region_runs_serial(self):
+        region, n = self._build()
+        run_serial(region)
+        assert region.output("d3") == [i + 100 for i in range(n)]
+
+    def test_fluid_matches_serial(self):
+        fluid, n = self._build()
+        serial, _ = self._build()
+        executor = SimExecutor(cores=4)
+        executor.submit(fluid)
+        executor.run()
+        run_serial(serial)
+        assert fluid.output("d3") == serial.output("d3")
+
+    def test_fluid_overlap_beats_serial_makespan(self):
+        from repro import Overheads
+        fluid, _ = self._build(n=100)
+        serial, _ = self._build(n=100)
+        executor = SimExecutor(cores=4, overheads=Overheads.zero())
+        executor.submit(fluid)
+        fluid_span = executor.run().makespan
+        serial_span = run_serial(serial).makespan
+        assert fluid_span < serial_span
+
+
+class TestDiagnostics:
+    def test_compile_error_on_bad_source(self):
+        bad = EDGE_SOURCE.replace("{d2}, {d3}>>>", "{ghost}, {d3}>>>")
+        with pytest.raises(CompileError) as exc:
+            translate_source(bad, "edge.fpy")
+        assert "undeclared data" in str(exc.value)
+        assert "edge.fpy" in str(exc.value)
+
+    def test_check_source_collects_without_raising(self):
+        bad = EDGE_SOURCE.replace("{d2}, {d3}>>>", "{ghost}, {d3}>>>")
+        diagnostics = check_source(bad, "edge.fpy")
+        assert any(d.severity == "error" for d in diagnostics)
+
+    def test_table2_stats(self):
+        result = translate_source(EDGE_SOURCE, "edge.fpy")
+        assert result.total_pragmas() == 9  # 8 pragmas + __fluid__ marker
+        assert 0 < result.pragma_ratio() < 1
+        per_class = result.per_class_stats()
+        assert per_class[0].class_name == "EdgeDetection"
+        assert per_class[0].region_pragmas == 9
+
+
+class TestCli:
+    def test_cli_emits_code(self, tmp_path, capsys):
+        source_path = tmp_path / "edge.fpy"
+        source_path.write_text(EDGE_SOURCE)
+        out_path = tmp_path / "edge.py"
+        assert cli_main([str(source_path), "-o", str(out_path)]) == 0
+        assert "FluidRegion" in out_path.read_text()
+
+    def test_cli_stats(self, tmp_path, capsys):
+        source_path = tmp_path / "edge.fpy"
+        source_path.write_text(EDGE_SOURCE)
+        assert cli_main([str(source_path), "--stats"]) == 0
+        captured = capsys.readouterr()
+        assert "pragmas" in captured.out
+
+    def test_cli_check_mode_fails_on_errors(self, tmp_path):
+        source_path = tmp_path / "bad.fpy"
+        source_path.write_text(
+            EDGE_SOURCE.replace("{d2}, {d3}>>>", "{ghost}, {d3}>>>"))
+        assert cli_main([str(source_path), "--check"]) == 1
+
+    def test_cli_reports_compile_error(self, tmp_path):
+        source_path = tmp_path / "bad.fpy"
+        source_path.write_text(
+            EDGE_SOURCE.replace("{d2}, {d3}>>>", "{ghost}, {d3}>>>"))
+        assert cli_main([str(source_path)]) == 1

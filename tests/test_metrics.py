@@ -1,0 +1,120 @@
+"""Tests for the error metrics of Section 7.1."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (coloring_error, kmeans_objective,
+                           normalized_accuracy, normalized_mse,
+                           normalized_path_error, prediction_agreement,
+                           psnr, topk_overlap)
+
+
+class TestNormalizedAccuracy:
+    def test_identical_is_zero(self):
+        assert normalized_accuracy(5.0, 5.0) == 0.0
+
+    def test_formula(self):
+        assert normalized_accuracy(11.0, 10.0) == pytest.approx(0.1)
+
+    def test_zero_base(self):
+        assert normalized_accuracy(0.5, 0.0) == pytest.approx(0.5)
+
+    def test_symmetric_in_magnitude(self):
+        assert normalized_accuracy(9.0, 10.0) == pytest.approx(0.1)
+
+
+class TestKmeansObjective:
+    def test_perfect_clustering_zero(self):
+        pixels = np.array([[0.0], [0.0], [4.0]])
+        centroids = np.array([[0.0], [4.0]])
+        assignments = np.array([0, 0, 1])
+        assert kmeans_objective(pixels, assignments, centroids) == 0.0
+
+    def test_distance_sum(self):
+        pixels = np.array([[1.0], [3.0]])
+        centroids = np.array([[0.0]])
+        assignments = np.array([0, 0])
+        assert kmeans_objective(pixels, assignments, centroids) == \
+            pytest.approx(1.0 + 9.0)
+
+
+class TestPathError:
+    def test_exact_paths(self):
+        d = np.array([0.0, 2.0, 5.0])
+        assert normalized_path_error(d, d) == 0.0
+
+    def test_relative_error(self):
+        reference = np.array([0.0, 2.0, 4.0])
+        approx = np.array([0.0, 3.0, 4.0])
+        assert normalized_path_error(approx, reference) == pytest.approx(0.25)
+
+    def test_unreached_destination_penalized(self):
+        reference = np.array([0.0, 2.0])
+        approx = np.array([0.0, np.inf])
+        assert normalized_path_error(approx, reference) > 1.0
+
+    def test_no_reachable(self):
+        assert normalized_path_error(np.array([0.0]), np.array([0.0])) == 0.0
+
+
+class TestColoringError:
+    def test_same_color_count(self):
+        assert coloring_error(np.array([0, 1, 2]), np.array([2, 1, 0])) == 0.0
+
+    def test_extra_color(self):
+        assert coloring_error(np.array([0, 1, 2, 3]),
+                              np.array([0, 1, 2, 2])) == pytest.approx(1 / 3)
+
+
+class TestPsnr:
+    def test_identical_images_infinite(self):
+        image = np.ones((4, 4))
+        assert psnr(image, image) == float("inf")
+
+    def test_known_value(self):
+        a = np.zeros((2, 2))
+        b = np.full((2, 2), 255.0)
+        assert psnr(a, b) == pytest.approx(0.0)
+
+    def test_more_noise_lower_psnr(self):
+        rng = np.random.default_rng(0)
+        base = rng.uniform(0, 255, (16, 16))
+        small = psnr(base + rng.normal(0, 1, base.shape), base)
+        large = psnr(base + rng.normal(0, 10, base.shape), base)
+        assert small > large
+
+
+class TestNormalizedMse:
+    def test_zero_for_identical(self):
+        x = np.array([1.0, 2.0])
+        assert normalized_mse(x, x) == 0.0
+
+    def test_scale_invariant_normalization(self):
+        reference = np.array([10.0, 10.0])
+        off = reference * 1.1
+        assert normalized_mse(off, reference) == pytest.approx(0.01)
+
+    def test_complex_supported(self):
+        reference = np.array([1 + 1j, 2 - 1j])
+        assert normalized_mse(reference, reference) == 0.0
+
+
+class TestAgreementAndOverlap:
+    def test_full_agreement(self):
+        assert prediction_agreement(np.array([1, 2]), np.array([1, 2])) == 1.0
+
+    def test_partial_agreement(self):
+        assert prediction_agreement(np.array([1, 2, 3, 4]),
+                                    np.array([1, 2, 0, 0])) == 0.5
+
+    def test_empty_agreement(self):
+        assert prediction_agreement(np.array([]), np.array([])) == 1.0
+
+    def test_topk_full_overlap(self):
+        assert topk_overlap([1, 2, 3], [3, 2, 1]) == 1.0
+
+    def test_topk_partial(self):
+        assert topk_overlap([1, 2, 9], [1, 2, 3]) == pytest.approx(2 / 3)
+
+    def test_topk_empty_reference(self):
+        assert topk_overlap([1], []) == 1.0

@@ -1,0 +1,52 @@
+"""Tests for the serial (original program) reference executor."""
+
+import pytest
+
+from repro import run_serial
+
+from util import (chain_expected, diamond_expected, make_chain, make_diamond,
+                  make_pipeline, pipeline_expected)
+
+
+class TestSerialExecution:
+    def test_pipeline_output(self):
+        region = make_pipeline(n=12)
+        run_serial(region)
+        assert region.output("out") == pipeline_expected(12)
+
+    def test_makespan_is_sum_of_costs(self):
+        region = make_pipeline(n=10, producer_cost=2.0, consumer_cost=3.0)
+        result = run_serial(region)
+        assert result.makespan == pytest.approx(10 * 2.0 + 10 * 3.0)
+
+    def test_chain_output(self):
+        region = make_chain(depth=4, n=8, exact_quality=False)
+        run_serial(region)
+        assert region.output("a3") == chain_expected(4, 8)
+
+    def test_diamond_output(self):
+        region = make_diamond(n=8)
+        run_serial(region)
+        assert region.output("out") == diamond_expected(8)
+
+    def test_every_task_runs_once(self):
+        region = make_chain(depth=3, n=5, exact_quality=False)
+        run_serial(region)
+        assert all(task.stats.runs == 1 for task in region.tasks)
+
+    def test_outputs_are_precise(self):
+        region = make_pipeline(n=6)
+        run_serial(region)
+        assert region.datas["out"].precise
+
+    def test_region_complete(self):
+        region = make_pipeline(n=6)
+        run_serial(region)
+        assert region.complete
+
+    def test_multiple_regions_accumulate(self):
+        a = make_pipeline(n=5, name="a")
+        b = make_pipeline(n=5, name="b")
+        result = run_serial(a, b)
+        assert result.makespan == pytest.approx(2 * (5 + 5))
+        assert a.complete and b.complete

@@ -1,0 +1,104 @@
+"""Unit tests for the task state machine table and statistics."""
+
+import pytest
+
+from repro.core.errors import StateError
+from repro.core.states import (LEGAL_TRANSITIONS, TaskState, check_transition)
+from repro.core.stats import RegionStats, TaskStats, TABLE3_STATES
+
+
+class TestTransitions:
+    @pytest.mark.parametrize("src,dst", [
+        (TaskState.INIT, TaskState.START_CHECK),
+        (TaskState.START_CHECK, TaskState.RUNNING),
+        (TaskState.RUNNING, TaskState.END_CHECK),
+        (TaskState.RUNNING, TaskState.COMPLETE),          # early termination
+        (TaskState.END_CHECK, TaskState.COMPLETE),
+        (TaskState.END_CHECK, TaskState.WAITING),
+        (TaskState.WAITING, TaskState.COMPLETE),          # (1)
+        (TaskState.WAITING, TaskState.RUNNING),           # (2)
+        (TaskState.WAITING, TaskState.DEP_STALLED),       # (3)
+        (TaskState.DEP_STALLED, TaskState.RUNNING),       # (4)
+    ])
+    def test_figure5_arcs_are_legal(self, src, dst):
+        check_transition(src, dst)  # must not raise
+
+    @pytest.mark.parametrize("src,dst", [
+        (TaskState.COMPLETE, TaskState.RUNNING),
+        (TaskState.INIT, TaskState.RUNNING),
+        (TaskState.RUNNING, TaskState.WAITING),
+        (TaskState.END_CHECK, TaskState.RUNNING),
+        (TaskState.WAITING, TaskState.END_CHECK),
+        (TaskState.DEP_STALLED, TaskState.WAITING),
+    ])
+    def test_illegal_arcs_raise(self, src, dst):
+        with pytest.raises(StateError):
+            check_transition(src, dst)
+
+    def test_complete_is_terminal(self):
+        assert LEGAL_TRANSITIONS[TaskState.COMPLETE] == frozenset()
+
+    def test_every_state_in_table(self):
+        assert set(LEGAL_TRANSITIONS) == set(TaskState)
+
+
+class TestTaskStats:
+    def test_visit_counting(self):
+        stats = TaskStats("t")
+        stats.enter(TaskState.INIT, 0.0)
+        stats.enter(TaskState.START_CHECK, 1.0)
+        stats.enter(TaskState.RUNNING, 3.0)
+        assert stats.visits[TaskState.INIT] == 1
+        assert stats.visits[TaskState.START_CHECK] == 1
+        assert stats.visits[TaskState.RUNNING] == 1
+
+    def test_residence_times(self):
+        stats = TaskStats("t")
+        stats.enter(TaskState.INIT, 0.0)
+        stats.enter(TaskState.START_CHECK, 2.0)
+        stats.enter(TaskState.RUNNING, 5.0)
+        stats.finish(9.0)
+        assert stats.time[TaskState.INIT] == pytest.approx(2.0)
+        assert stats.time[TaskState.START_CHECK] == pytest.approx(3.0)
+        assert stats.time[TaskState.RUNNING] == pytest.approx(4.0)
+
+    def test_reentry_accumulates(self):
+        stats = TaskStats("t")
+        stats.enter(TaskState.RUNNING, 0.0)
+        stats.enter(TaskState.WAITING, 1.0)
+        stats.enter(TaskState.RUNNING, 2.0)
+        stats.finish(4.0)
+        assert stats.visits[TaskState.RUNNING] == 2
+        assert stats.time[TaskState.RUNNING] == pytest.approx(3.0)
+
+    def test_table3_rows_fold_wait_and_stall(self):
+        stats = TaskStats("t")
+        stats.enter(TaskState.WAITING, 0.0)
+        stats.enter(TaskState.DEP_STALLED, 1.0)
+        stats.enter(TaskState.RUNNING, 3.0)
+        stats.finish(3.0)
+        visit_row = stats.visit_row()
+        time_row = stats.time_row()
+        wait_index = TABLE3_STATES.index(TaskState.WAITING)
+        assert visit_row[wait_index] == 2
+        assert time_row[wait_index] == pytest.approx(3.0)
+
+
+class TestRegionStats:
+    def test_for_task_is_stable(self):
+        stats = RegionStats("r")
+        assert stats.for_task("a") is stats.for_task("a")
+
+    def test_merge_accumulates(self):
+        a = RegionStats("r")
+        a.for_task("t").enter(TaskState.INIT, 0.0)
+        a.for_task("t").finish(2.0)
+        a.makespan = 5.0
+        b = RegionStats("r")
+        b.for_task("t").enter(TaskState.INIT, 0.0)
+        b.for_task("t").finish(3.0)
+        b.makespan = 7.0
+        a.merge(b)
+        assert a.for_task("t").visits[TaskState.INIT] == 2
+        assert a.for_task("t").time[TaskState.INIT] == pytest.approx(5.0)
+        assert a.makespan == pytest.approx(12.0)

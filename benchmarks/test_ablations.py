@@ -17,7 +17,6 @@ design leans on:
   default.
 """
 
-import numpy as np
 
 from repro.apps.graph_coloring import GraphColoringApp
 from repro.apps.kmeans import KMeansApp

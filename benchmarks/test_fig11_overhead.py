@@ -15,7 +15,6 @@ than the serial original; their overhead is reported against that
 parallel floor.
 """
 
-import numpy as np
 
 from repro.apps.base import DEFAULT_OVERHEADS
 from repro.bench import render_table, standard_suite

@@ -10,7 +10,6 @@ roughly flat; FFT saturates near 16 threads as the machine runs out of
 cores.
 """
 
-import numpy as np
 
 from repro.apps.edge_detection import EdgeDetectionApp
 from repro.apps.fft import FFTApp

@@ -6,7 +6,6 @@ accuracy is insensitive; larger inputs are more sensitive to threshold
 modulation.
 """
 
-import numpy as np
 
 from repro.apps.graph_coloring import GraphColoringApp
 from repro.apps.kmeans import KMeansApp

@@ -6,9 +6,7 @@
 * threshold sensitivity grows with input size (Section 7.3, Figure 7).
 """
 
-import numpy as np
 
-from repro.apps.bellman_ford import BellmanFordApp
 from repro.apps.dct import DCTApp
 from repro.apps.fft import FFTApp
 from repro.apps.graph_coloring import GraphColoringApp

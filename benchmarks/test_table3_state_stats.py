@@ -11,7 +11,6 @@ racing consumers); non-root tasks accumulate long StartCheck residence
 import numpy as np
 
 from repro.bench import render_table, standard_suite
-from repro.core.stats import TABLE3_STATES
 
 SMALL_INPUT = {
     "kmeans": "div6", "bellman_ford": "1K_4K", "graph_coloring": "1K_4K",

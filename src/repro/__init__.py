@@ -47,8 +47,9 @@ from .core import (AlwaysValve, CompileError, ConvergenceValve, Count,
                    StabilityValve, TaskContext, TaskGraph, TaskSpec,
                    TaskState, Valve, ValveError, submit_all, submit_chain,
                    submit_stages, sync)
-from .runtime import (Overheads, RunResult, SimExecutor, SimResult,
-                      ThreadExecutor, Trace, run_serial)
+from .runtime import (BACKENDS, Overheads, ProcessExecutor, RunResult,
+                      SimExecutor, SimResult, ThreadExecutor, Trace,
+                      make_executor, run_serial)
 from .runtime.gantt import TimelineRecorder
 from .tuning import ThresholdTuner, TuningResult, ValveSelector
 
@@ -63,8 +64,8 @@ __all__ = [
     "PredicateValve", "RegionStats", "SchedulerError", "StabilityValve",
     "TaskContext", "TaskGraph", "TaskSpec", "TaskState", "Valve",
     "ValveError", "submit_all", "submit_chain", "submit_stages", "sync",
-    "Overheads", "RunResult", "SimExecutor", "SimResult",
-    "ThreadExecutor", "Trace", "run_serial",
+    "BACKENDS", "Overheads", "ProcessExecutor", "RunResult", "SimExecutor",
+    "SimResult", "ThreadExecutor", "Trace", "make_executor", "run_serial",
     "TimelineRecorder", "ThresholdTuner", "TuningResult", "ValveSelector",
     "__version__",
 ]

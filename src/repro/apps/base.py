@@ -7,8 +7,9 @@ can treat them uniformly:
 * :meth:`FluidApp.run_precise` executes the original program (serial,
   no framework) and caches its outputs;
 * :meth:`FluidApp.run_fluid` builds fresh fluid regions, runs them on a
-  :class:`~repro.runtime.simulator.SimExecutor`, and reports the
-  makespan plus the app's error metric against the precise output.
+  :class:`~repro.runtime.simulator.SimExecutor` (or the thread/process
+  backend via ``backend=``), and reports the makespan plus the app's
+  error metric against the precise output.
 
 Accuracy convention: every app maps its paper metric to an *error* in
 ``[0, 1]`` where 0 means "identical to precise"; Figure-6-style
@@ -23,7 +24,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from ..core.guard import ModulationPolicy
 from ..core.region import FluidRegion
-from ..runtime.executor import RunResult, run_serial
+from ..runtime.executor import RunResult, make_executor, run_serial
 from ..runtime.simulator import Overheads, SimExecutor
 
 #: The paper's evaluation platform: a 20-core Xeon.
@@ -111,8 +112,18 @@ class FluidApp:
                   overheads: Optional[Overheads] = None,
                   modulation: Optional[ModulationPolicy] = None,
                   parallelism: int = 1,
-                  trace: bool = False) -> AppRun:
-        """Execute the fluidized app on the simulator."""
+                  trace: bool = False,
+                  backend: str = "sim") -> AppRun:
+        """Execute the fluidized app on the chosen backend.
+
+        ``backend="sim"`` (the default) reports makespans in virtual
+        cost units; ``"thread"`` and ``"process"`` report wall-clock
+        seconds, so those makespans are only comparable to other
+        real-time runs.  The process backend additionally requires the
+        app's regions to honour the process-backend contract (honest
+        input/output declarations, no aliased payload buffers; see
+        docs/runtime-semantics.md).
+        """
         if threshold is None:
             threshold = self.default_threshold
         precise = self.run_precise()
@@ -123,11 +134,17 @@ class FluidApp:
         self.active_modulation = modulation
         plan = self.build_regions(threshold=threshold, valve=valve,
                                   parallelism=parallelism)
-        executor = SimExecutor(
-            cores=cores,
-            overheads=overheads if overheads is not None else DEFAULT_OVERHEADS,
-            modulation=modulation, trace=trace,
-            cancel_first_runs=self.cancel_first_runs)
+        if backend == "sim":
+            executor = SimExecutor(
+                cores=cores,
+                overheads=(overheads if overheads is not None
+                           else DEFAULT_OVERHEADS),
+                modulation=modulation, trace=trace,
+                cancel_first_runs=self.cancel_first_runs)
+        else:
+            executor = make_executor(
+                backend, modulation=modulation,
+                cancel_first_runs=self.cancel_first_runs)
         plan.submit_to(executor)
         result = executor.run()
         output = self.extract_output(plan)

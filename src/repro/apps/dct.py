@@ -15,7 +15,6 @@ basis cost is fixed.
 from __future__ import annotations
 
 import math
-from typing import List, Tuple
 
 import numpy as np
 

@@ -17,7 +17,7 @@ into row bands fanned out under a header task.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import List
 
 import numpy as np
 

@@ -20,7 +20,6 @@ selection scan into ``p`` vertex bands.
 
 from __future__ import annotations
 
-from typing import List
 
 import numpy as np
 

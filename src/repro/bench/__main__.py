@@ -3,9 +3,11 @@
 Regenerates the Figure-6 headline table (and optionally a per-app
 threshold sweep) without pytest — handy for quick explorations::
 
-    python -m repro.bench                 # the Figure-6 matrix
-    python -m repro.bench --app kmeans    # just one app
-    python -m repro.bench --sweep kmeans  # threshold sweep for one app
+    python -m repro.bench                    # the Figure-6 matrix
+    python -m repro.bench --quick            # one input per app
+    python -m repro.bench --app kmeans       # just one app
+    python -m repro.bench --sweep kmeans     # threshold sweep for one app
+    python -m repro.bench --backend process  # real-core thread-vs-process
 """
 
 from __future__ import annotations
@@ -15,11 +17,11 @@ import sys
 
 import numpy as np
 
-from .harness import run_comparison, standard_suite
+from .harness import run_backend_bench, run_comparison, standard_suite
 from .reporting import render_series, render_table
 
 
-def run_figure6(only_app=None) -> int:
+def run_figure6(only_app=None, quick=False) -> int:
     rows = []
     for app_name, inputs in standard_suite().items():
         if only_app and app_name != only_app:
@@ -31,6 +33,8 @@ def run_figure6(only_app=None) -> int:
                   f"latency {row.normalized_latency:.3f}, "
                   f"accuracy {row.normalized_accuracy:.3f}",
                   file=sys.stderr)
+            if quick:
+                break
     if not rows:
         print(f"unknown app {only_app!r}; have: "
               f"{', '.join(standard_suite())}", file=sys.stderr)
@@ -67,6 +71,23 @@ def run_sweep(app_name: str, thresholds) -> int:
     return 0
 
 
+def run_backends(backend: str, workers, tasks, scale: float) -> int:
+    """Figure-12 on real cores: time ``backend`` against the thread one."""
+    row = run_backend_bench(backend=backend, workers=workers, tasks=tasks,
+                            scale=scale)
+    print(render_table(
+        f"Real-core backend comparison ({row.tasks} tasks x "
+        f"{row.iterations} iterations, {row.workers} workers)",
+        ["backend", "wall seconds", "speedup vs thread"],
+        [["thread", row.thread_seconds, 1.0],
+         [row.backend, row.backend_seconds, row.speedup]]))
+    if not row.outputs_match:
+        print("ERROR: backend outputs diverged from the precise values",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
@@ -76,13 +97,36 @@ def main(argv=None) -> int:
                         help="threshold sweep for one application")
     parser.add_argument("--thresholds", default="0.2,0.4,0.6,0.8,1.0",
                         help="comma-separated sweep thresholds")
+    parser.add_argument("--backend", choices=("sim", "thread", "process"),
+                        help="backend to benchmark: 'thread'/'process' time "
+                             "a CPU-bound fan-out on real cores against the "
+                             "thread baseline; 'sim' (the default) runs the "
+                             "Figure-6 matrix on the simulator")
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke-test sizing: one input per app for the "
+                             "Figure-6 matrix, a smaller real-core workload")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="iteration-count multiplier for the real-core "
+                             "backend workload (default 1.0, or 0.05 with "
+                             "--quick)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes for --backend process "
+                             "(default: all cores)")
+    parser.add_argument("--tasks", type=int, default=None,
+                        help="fan-out width for the real-core backend "
+                             "workload (default: max(2, workers))")
     args = parser.parse_args(argv)
 
     if args.sweep:
         thresholds = [float(token) for token in
                       args.thresholds.split(",") if token]
         return run_sweep(args.sweep, thresholds)
-    return run_figure6(args.app)
+    if args.backend in ("thread", "process"):
+        scale = args.scale
+        if scale is None:
+            scale = 0.05 if args.quick else 1.0
+        return run_backends(args.backend, args.workers, args.tasks, scale)
+    return run_figure6(args.app, quick=args.quick)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -6,14 +6,24 @@ finishes in minutes on a laptop while preserving every sensitivity axis:
 graph density, image noise, vector size, network width, protein count).
 ``run_comparison`` executes precise-vs-fluid for one app and returns a
 :class:`BenchRow` with the normalized numbers the figures plot.
+
+``run_backend_bench`` is the real-core counterpart of Figure 12: it
+times the same CPU-bound fan-out region on the thread backend and on a
+requested backend, reporting wall-clock seconds and the speedup.  The
+workload is pure Python (no numpy kernels) so the thread backend is
+genuinely GIL-bound and the process backend's parallelism is visible.
 """
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from ..apps.base import DEFAULT_OVERHEADS, FluidApp
+from ..core.region import FluidRegion
+from ..runtime.executor import make_executor
 from ..apps.bellman_ford import BellmanFordApp
 from ..apps.dct import DCTApp
 from ..apps.edge_detection import EdgeDetectionApp
@@ -155,3 +165,130 @@ def standard_suite() -> Dict[str, Dict[str, Callable[[], FluidApp]]]:
 def bench_overheads():
     """The overhead model used by all benchmarks (see apps.base)."""
     return DEFAULT_OVERHEADS
+
+
+# ------------------------------------------------- real-core backend bench
+
+def _lcg_kernel(seed: int, iterations: int) -> int:
+    """A pure-Python 64-bit LCG loop: CPU-bound, GIL-bound, deterministic."""
+    acc = seed
+    for _ in range(iterations):
+        acc = (acc * 6364136223846793005 + 1442695040888963407) % (1 << 64)
+    return acc
+
+
+def make_cpu_bound_region(name: str = "cpu_bound", tasks: int = 4,
+                          iterations: int = 200_000,
+                          chunks: int = 16) -> FluidRegion:
+    """An embarrassingly parallel fan-out of pure-Python crunch tasks.
+
+    A trivial header task distributes one seed per crunch task; each
+    crunch task is gated on its own seed cell being final, runs exactly
+    once, and writes its own output cell.  The region is therefore
+    deterministic on every backend and honours the process-backend
+    contract (honest declarations, one payload object per cell, no
+    aliasing).
+    """
+    from ..core.valves import DataFinalValve
+
+    class _CpuBound(FluidRegion):
+        def build(self):
+            seeds = self.input_data(
+                "seeds", [7 + 13 * index for index in range(tasks)])
+            cells = [self.add_data(f"seed_{index}", 0)
+                     for index in range(tasks)]
+
+            def distribute(ctx):
+                values = seeds.read()
+                for index in range(tasks):
+                    cells[index].write(values[index])
+                    yield 1.0
+
+            self.add_task("distribute", distribute,
+                          inputs=[seeds], outputs=list(cells))
+            for index in range(tasks):
+                out = self.add_data(f"out_{index}", 0)
+                cell = cells[index]
+
+                def body(ctx, cell=cell, out=out):
+                    acc = cell.read()
+                    step = max(1, iterations // chunks)
+                    done = 0
+                    while done < iterations:
+                        count = min(step, iterations - done)
+                        acc = _lcg_kernel(acc, count)
+                        done += count
+                        yield float(count)
+                    out.write(acc)
+                    yield 1.0
+
+                self.add_task(f"crunch_{index}", body,
+                              start_valves=[DataFinalValve(cell)],
+                              inputs=[cell], outputs=[out])
+
+    return _CpuBound(name)
+
+
+@dataclass
+class BackendBenchRow:
+    """Wall-clock comparison of one backend against the thread baseline."""
+
+    backend: str
+    workers: int
+    tasks: int
+    iterations: int
+    thread_seconds: float
+    backend_seconds: float
+    outputs_match: bool
+
+    @property
+    def speedup(self) -> float:
+        if self.backend_seconds <= 0:
+            return float("inf")
+        return self.thread_seconds / self.backend_seconds
+
+
+def run_backend_bench(backend: str = "process",
+                      workers: Optional[int] = None,
+                      tasks: Optional[int] = None,
+                      scale: float = 1.0,
+                      chunks: int = 16) -> BackendBenchRow:
+    """Time a CPU-bound fan-out on ``backend`` against the thread backend.
+
+    ``scale`` multiplies the per-task iteration count (tests pass a tiny
+    value; the CLI default is sized for a seconds-long measurement).
+    Outputs of both timed runs are checked against the serially computed
+    expected values.  ``backend`` must be a real-time backend ("thread"
+    or "process"); the simulator has no wall clock to compare.
+    """
+    if backend not in ("thread", "process"):
+        raise ValueError(
+            f"run_backend_bench compares wall clocks; backend {backend!r} "
+            "is not a real-time backend (use 'thread' or 'process')")
+    workers = workers if workers else (os.cpu_count() or 1)
+    tasks = tasks if tasks else max(2, workers)
+    iterations = max(1, int(200_000 * scale))
+    expected = [_lcg_kernel(7 + 13 * index, iterations)
+                for index in range(tasks)]
+
+    def timed(which: str):
+        region = make_cpu_bound_region(tasks=tasks, iterations=iterations,
+                                       chunks=chunks)
+        kwargs = {"timeout": 600.0}
+        if which == "process":
+            kwargs["workers"] = workers
+        executor = make_executor(which, **kwargs)
+        executor.submit(region)
+        start = time.perf_counter()
+        executor.run()
+        elapsed = time.perf_counter() - start
+        outputs = [region.output(f"out_{index}") for index in range(tasks)]
+        return elapsed, outputs
+
+    thread_seconds, thread_outputs = timed("thread")
+    backend_seconds, backend_outputs = timed(backend)
+    return BackendBenchRow(
+        backend=backend, workers=workers, tasks=tasks, iterations=iterations,
+        thread_seconds=thread_seconds, backend_seconds=backend_seconds,
+        outputs_match=(thread_outputs == expected
+                       and backend_outputs == expected))

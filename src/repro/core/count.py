@@ -12,12 +12,15 @@ when observers learn about a change:
   tests and for the thread backend, which adds locking on top);
 * the discrete-event simulator installs a buffering sink so that updates
   made inside a work chunk become visible at the chunk's virtual
-  completion time, not at the instant the Python code happens to run.
+  completion time, not at the instant the Python code happens to run;
+* the process backend's workers install a :class:`RecordingSink` that
+  buffers updates for batched shipment to the parent process, where they
+  are re-applied with :meth:`Count.replay`.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 
 class UpdateSink:
@@ -29,6 +32,28 @@ class UpdateSink:
 
 class ImmediateSink(UpdateSink):
     """Dispatches every update to subscribers as soon as it happens."""
+
+
+class RecordingSink(UpdateSink):
+    """Buffers visible updates as picklable ``(name, value)`` records.
+
+    Used by out-of-process workers: the worker's copies of the counts
+    never dispatch locally; instead the batched records travel back to
+    the parent process, which replays each one on the authoritative
+    count (:meth:`Count.replay`) so valves and subscribers observe the
+    exact same update sequence a single-process run would produce.
+    """
+
+    def __init__(self):
+        self.buffer: List[Tuple[str, Any]] = []
+
+    def count_updated(self, count: "Count", value: Any) -> None:
+        self.buffer.append((count.name, value))
+
+    def drain(self) -> List[Tuple[str, Any]]:
+        """Return and clear the buffered update records."""
+        records, self.buffer = self.buffer, []
+        return records
 
 
 class Count:
@@ -96,6 +121,29 @@ class Count:
             self.set(candidate)
         else:
             self.set(self._value)
+
+    # -- cross-process state exchange -------------------------------------
+
+    def export_state(self) -> "Tuple[Any, int]":
+        """Snapshot ``(value, updates)`` for shipment to a worker process."""
+        return (self._value, self.updates)
+
+    def install_state(self, value: Any, updates: int) -> None:
+        """Adopt a state exported by another process (no dispatch)."""
+        self._value = value
+        self.updates = updates
+
+    def replay(self, value: Any) -> None:
+        """Re-apply one update observed in another process.
+
+        Equivalent to the visible half of :meth:`set`: the value lands,
+        the update counter advances, and subscribers are notified —
+        without routing through the sink again (the update already went
+        through the worker's sink once).
+        """
+        self._value = value
+        self.updates += 1
+        self.dispatch(value)
 
     # -- observation -----------------------------------------------------
 

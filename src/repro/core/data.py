@@ -36,6 +36,11 @@ from __future__ import annotations
 
 from typing import Any, Callable, List, Optional, Sequence
 
+#: Numpy payloads at or above this many bytes cross process boundaries
+#: through :mod:`multiprocessing.shared_memory` instead of pickling
+#: through a pipe (see :func:`export_payload`).
+PAYLOAD_SHM_MIN_BYTES = 1 << 16
+
 
 class FluidData:
     """Base class for a unit of (possibly partial) dataflow.
@@ -127,6 +132,31 @@ class FluidData:
         """Capture version/precision for run-start bookkeeping."""
         return DataSnapshot(self.version, self.final, self.precise)
 
+    # -- cross-process payload exchange --------------------------------------
+
+    def export_payload(self) -> "PayloadHandle":
+        """Capture the current payload as a picklable handle.
+
+        The handle can cross a process boundary; large numpy payloads go
+        through a shared-memory buffer instead of the pickle stream.
+        """
+        return export_payload(self._value)
+
+    def apply_payload(self, value: Any, bump: bool = True) -> None:
+        """Install a payload received from another process.
+
+        Mutates the existing payload object *in place* whenever possible
+        (same-shape arrays, lists, bytearrays) so that closures holding a
+        direct reference to the payload — task bodies, end-valve
+        predicates, app-side output accessors — keep observing updates.
+        Falls back to rebinding for scalars and shape changes.
+        """
+        current = self._value
+        if not _copy_in_place(current, value):
+            self._value = value
+        if bump:
+            self._bump()
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         flags = "".join(flag for flag, on in
                         (("F", self.final), ("P", self.precise)) if on)
@@ -177,3 +207,170 @@ class FluidArray(FluidData):
         """Bulk-update ``payload[start:stop]`` as one versioned write."""
         self._value[start:stop] = values
         self._bump()
+
+
+# --------------------------------------------------------------------------
+# Cross-process payload exchange (the process backend's data protocol).
+#
+# A payload crosses a process boundary as a PayloadHandle: a small
+# picklable object that either embeds the value in the pickle stream or,
+# for large numpy arrays, references a shared-memory buffer holding the
+# raw bytes.  Ownership of a shared-memory segment transfers with the
+# handle: the importing side unlinks it after copying out, so neither
+# side has to coordinate lifetimes.
+
+
+def _numpy():
+    try:
+        import numpy
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        return None
+    return numpy
+
+
+def _copy_in_place(current: Any, value: Any) -> bool:
+    """Copy ``value`` into the object ``current`` if types allow."""
+    np = _numpy()
+    if np is not None and isinstance(current, np.ndarray) \
+            and isinstance(value, np.ndarray):
+        if current.shape == value.shape and current.dtype == value.dtype:
+            np.copyto(current, value)
+            return True
+        return False
+    if isinstance(current, (list, bytearray)) and type(current) is type(value):
+        current[:] = value
+        return True
+    return False
+
+
+class PayloadHandle:
+    """Base class: a picklable carrier for one payload value."""
+
+    def load(self) -> Any:
+        """Materialize the payload (releasing any transport resources)."""
+        raise NotImplementedError
+
+    def discard(self) -> None:
+        """Release transport resources without materializing."""
+
+
+class InlinePayload(PayloadHandle):
+    """The common case: the value rides in the pickle stream itself."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def load(self) -> Any:
+        return self.value
+
+
+class SharedArrayPayload(PayloadHandle):
+    """A numpy array parked in a shared-memory segment.
+
+    The exporting process creates the segment and immediately disowns it
+    (ownership travels with the handle); :meth:`load` copies the bytes
+    out and unlinks the segment.
+    """
+
+    __slots__ = ("shm_name", "shape", "dtype_str", "_spent")
+
+    def __init__(self, shm_name: str, shape, dtype_str: str):
+        self.shm_name = shm_name
+        self.shape = tuple(shape)
+        self.dtype_str = dtype_str
+        self._spent = False
+
+    def load(self) -> Any:
+        from multiprocessing import shared_memory
+
+        np = _numpy()
+        segment = shared_memory.SharedMemory(name=self.shm_name)
+        try:
+            view = np.ndarray(self.shape, dtype=np.dtype(self.dtype_str),
+                              buffer=segment.buf)
+            value = view.copy()
+        finally:
+            segment.close()
+            self._unlink(segment)
+        return value
+
+    def discard(self) -> None:
+        from multiprocessing import shared_memory
+
+        if self._spent:
+            return
+        try:
+            segment = shared_memory.SharedMemory(name=self.shm_name)
+        except FileNotFoundError:
+            self._spent = True
+            return
+        segment.close()
+        self._unlink(segment)
+
+    def _unlink(self, segment) -> None:
+        if self._spent:
+            return
+        self._spent = True
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # already reclaimed
+            pass
+
+    def __getstate__(self):
+        return (self.shm_name, self.shape, self.dtype_str)
+
+    def __setstate__(self, state):
+        self.shm_name, self.shape, self.dtype_str = state
+        self._spent = False
+
+
+def export_payload(value: Any,
+                   shm_min_bytes: int = PAYLOAD_SHM_MIN_BYTES) -> PayloadHandle:
+    """Wrap ``value`` for transport to another process.
+
+    Large numpy arrays are copied into a fresh shared-memory segment and
+    shipped by name; everything else is carried inline (pickled with the
+    handle).  The caller-side segment is disowned immediately so the
+    resource tracker of the exporting process does not double-free it
+    when the importing process unlinks.
+    """
+    np = _numpy()
+    if np is not None and isinstance(value, np.ndarray) \
+            and value.nbytes >= shm_min_bytes and value.dtype != object:
+        from multiprocessing import shared_memory
+
+        contiguous = np.ascontiguousarray(value)
+        segment = shared_memory.SharedMemory(create=True,
+                                             size=max(1, contiguous.nbytes))
+        try:
+            view = np.ndarray(contiguous.shape, dtype=contiguous.dtype,
+                              buffer=segment.buf)
+            np.copyto(view, contiguous)
+            _disown_shared_memory(segment)
+            return SharedArrayPayload(segment.name, contiguous.shape,
+                                      contiguous.dtype.str)
+        finally:
+            segment.close()
+    return InlinePayload(value)
+
+
+def import_payload(handle: PayloadHandle) -> Any:
+    """Materialize a payload exported by another process."""
+    return handle.load()
+
+
+def _disown_shared_memory(segment) -> None:
+    """Stop this process's resource tracker from reclaiming ``segment``.
+
+    Ownership transfers to the importing process (which unlinks after
+    copying out); without this, the exporting process's tracker would
+    unlink the segment again at interpreter exit and log warnings.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals vary by version
+        pass

@@ -50,6 +50,16 @@ class GuardHost:
     def task_completed(self, task: FluidTask) -> None:
         """Notification hook (region completion checks, tracing)."""
 
+    def task_failed(self, task: FluidTask, error: Exception) -> None:
+        """A task body failed irrecoverably.
+
+        Remote backends route worker-side body exceptions through
+        :meth:`Coordinator.body_failed`, which lands here; the default
+        re-raises immediately, while event-loop backends typically
+        record the error and surface it from ``run()``.
+        """
+        raise error
+
 
 class ModulationPolicy:
     """Runtime valve-threshold modulation (Sections 4.4 / 6.1).
@@ -147,6 +157,14 @@ class Coordinator:
         descendant completed (Section 6.1)."""
         task.stats.cancelled_runs += 1
         self._complete(task, "early-termination")
+
+    def body_failed(self, task: FluidTask, error: Exception) -> None:
+        """A body raised on an execution resource the guard does not
+        share an address space with (process/remote backends): record
+        the failed run and hand the error to the host for surfacing."""
+        task.stats.failed_runs += 1
+        self._emit("failed", task, repr(error))
+        self.host.task_failed(task, error)
 
     def skip_rerun(self, task: FluidTask) -> None:
         """A scheduled re-execution became pointless before it started:

@@ -33,6 +33,7 @@ class TaskStats:
         self.time: Dict[TaskState, float] = {state: 0.0 for state in TaskState}
         self.runs = 0          # completed executions of the body
         self.cancelled_runs = 0
+        self.failed_runs = 0   # body raised (remote/process backends)
         self.quality_failures = 0
         self._state: Optional[TaskState] = None
         self._entered_at = 0.0
@@ -96,6 +97,7 @@ class RegionStats:
                 mine.time[state] += stats.time[state]
             mine.runs += stats.runs
             mine.cancelled_runs += stats.cancelled_runs
+            mine.failed_runs += stats.failed_runs
             mine.quality_failures += stats.quality_failures
         self.makespan += other.makespan
         self.overhead_time += other.overhead_time

@@ -9,7 +9,7 @@ already completed; under the thread backend it genuinely blocks.
 from __future__ import annotations
 
 import time
-from typing import Optional, Union
+from typing import Union
 
 from .errors import SchedulerError
 from .region import FluidRegion

@@ -22,7 +22,7 @@ they are cooperative cancellation points.  A body receives a
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Generator, Optional, Sequence
+from typing import Callable, Dict, Generator, Sequence
 
 from .data import DataSnapshot, FluidData
 from .errors import GraphError

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import ast
 import re
-from typing import Dict, List, Set
+from typing import Dict, Set
 
 from .ast_nodes import FluidClassNode, TaskPragma
 from .diagnostics import DiagnosticSink

@@ -23,7 +23,7 @@ from typing import Dict, List, Optional
 from ..core.errors import CompileError
 from .ast_nodes import TranslationUnitNode
 from .codegen import generate_module
-from .diagnostics import Diagnostic, DiagnosticSink
+from .diagnostics import Diagnostic
 from .parser import parse_source
 from .semantics import analyze_class
 

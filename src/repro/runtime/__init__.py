@@ -4,18 +4,25 @@
   virtual time (all performance experiments);
 * :class:`ThreadExecutor` — one guard thread per task, real preemption
   (semantic validation; GIL-bound, see DESIGN.md);
+* :class:`ProcessExecutor` — task bodies on a pool of forked worker
+  processes, true parallelism on real cores; guard decisions stay in
+  the parent process;
 * :func:`run_serial` — the precise original program, the baseline for
   every normalized number in the evaluation.
+
+See the backend matrix in docs/runtime-semantics.md for capabilities
+and when to use which; :func:`make_executor` builds one by name.
 """
 
 from .events import EventQueue
-from .executor import Executor, RunResult, run_serial
+from .executor import BACKENDS, Executor, RunResult, make_executor, run_serial
+from .process_backend import ProcessExecutor
 from .simulator import Overheads, SimExecutor, SimResult
 from .thread_backend import ThreadExecutor
 from .tracing import Trace, TraceEvent
 
 __all__ = [
-    "EventQueue", "Executor", "RunResult", "run_serial",
-    "Overheads", "SimExecutor", "SimResult", "ThreadExecutor",
-    "Trace", "TraceEvent",
+    "BACKENDS", "EventQueue", "Executor", "RunResult", "make_executor",
+    "run_serial", "Overheads", "ProcessExecutor", "SimExecutor", "SimResult",
+    "ThreadExecutor", "Trace", "TraceEvent",
 ]

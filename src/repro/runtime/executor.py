@@ -10,7 +10,7 @@ result in the evaluation is normalized.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Sequence
 
 from ..core.count import ImmediateSink
 from ..core.region import FluidRegion
@@ -49,6 +49,38 @@ class Executor:
 
     def run(self) -> RunResult:
         raise NotImplementedError
+
+
+#: Names accepted by :func:`make_executor` (and the bench ``--backend``
+#: flag): the virtual-time simulator, the GIL-bound thread backend, and
+#: the true-parallel multiprocessing backend.
+BACKENDS = ("sim", "thread", "process")
+
+
+def make_executor(backend: str, **kwargs) -> Executor:
+    """Construct an executor by backend name.
+
+    All three backends consume the same finalized regions and drive the
+    same guard coordinator, so callers can treat the returned object
+    uniformly; ``kwargs`` are forwarded to the backend constructor
+    (each backend documents its own knobs).
+    """
+    if backend == "sim":
+        from .simulator import SimExecutor
+
+        return SimExecutor(**kwargs)
+    if backend == "thread":
+        from .thread_backend import ThreadExecutor
+
+        return ThreadExecutor(**kwargs)
+    if backend == "process":
+        from .process_backend import ProcessExecutor
+
+        return ProcessExecutor(**kwargs)
+    from ..core.errors import SchedulerError
+
+    raise SchedulerError(
+        f"unknown backend {backend!r}; expected one of {', '.join(BACKENDS)}")
 
 
 class _SerialDynamicHost:

@@ -1,0 +1,513 @@
+"""The true-parallel backend: Fluid task bodies in a process pool.
+
+CPython's GIL serializes the thread backend's task bodies, so only the
+virtual-time simulator could demonstrate the paper's latency numbers.
+This backend runs bodies on real cores: a pool of forked worker
+processes *does* the work while the parent process keeps *deciding* —
+every valve check, Figure-5 transition and re-execution decision goes
+through the same :class:`~repro.core.guard.Coordinator` as the
+simulator and the thread backend, serialized in the parent's single
+control loop.
+
+Division of labour
+------------------
+
+parent (control loop)
+    Region admission, start-valve checks, dispatch, the whole guard
+    state machine, end-quality evaluation, early termination,
+    modulation.  Owns the authoritative ``FluidData``/``Count`` objects.
+
+workers (forked processes)
+    Execute one task body at a time against their own forked copies of
+    the region objects.  Inputs/outputs/counts are (re)installed from
+    parent snapshots at dispatch; count updates and payload writes are
+    streamed back in chunk-boundary batches.
+
+Data crosses the boundary as picklable snapshots
+(:func:`~repro.core.data.export_payload`); large numpy payloads ride
+shared-memory buffers instead of the pickle stream.  Workers check a
+shared cancellation flag at every chunk boundary, giving the same
+cooperative early-termination the other backends have.
+
+Granularity: where the thread backend publishes every count update and
+element write immediately, a worker publishes at chunk boundaries,
+batched to at most one flush per ``flush_interval`` seconds.  A
+concurrent consumer therefore sees the producer's payload as of the
+last flush — a coarser but still monotonically-growing prefix, which is
+exactly the relaxation Fluid licenses.
+
+Requirements and limits (see docs/runtime-semantics.md for the matrix):
+
+* ``fork`` start method (POSIX only) — bodies are closures, inherited
+  rather than pickled;
+* honest guard tuples — a body may only read/write the cells declared
+  in its ``inputs``/``outputs`` (already a Fluid rule; here it is what
+  makes snapshot installation correct);
+* each data cell needs its own payload object (two cells aliasing one
+  buffer would overwrite each other's flushes);
+* dynamic task graphs (``ctx.spawn``) are not supported — the spawned
+  closure would live in the worker only.
+"""
+
+from __future__ import annotations
+
+import os
+import queue as queue_module
+import time
+import traceback
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..core.count import RecordingSink
+from ..core.data import import_payload
+from ..core.errors import SchedulerError, TaskBodyError
+from ..core.guard import Coordinator, GuardHost, ModulationPolicy
+from ..core.region import FluidRegion
+from ..core.states import TaskState
+from ..core.task import FluidTask, TaskContext
+from .executor import Executor, RunResult
+
+#: Worker -> parent message kinds.
+_PROGRESS, _FINISHED, _CANCELLED, _ERROR = "progress", "finished", "cancelled", "error"
+
+
+class _RegionRun:
+    """Parent-side bookkeeping for one submitted region."""
+
+    def __init__(self, index: int, region: FluidRegion,
+                 after: Tuple[FluidRegion, ...]):
+        self.index = index
+        self.region = region
+        self.after = after
+        self.coordinator: Optional[Coordinator] = None
+        self.launched = False
+        self.done = False
+        self.launch_time = 0.0
+
+
+class ProcessExecutor(Executor, GuardHost):
+    """Executes regions with task bodies on a multiprocessing pool.
+
+    Parameters
+    ----------
+    workers:
+        Pool size; defaults to ``os.cpu_count()``.
+    flush_interval:
+        Minimum seconds between a worker's mid-run publications of count
+        updates and payload snapshots.  Smaller values tighten the
+        approximation granularity at the cost of more IPC.
+    poll_interval / timeout:
+        Control-loop wakeup period and the overall wall-clock deadline,
+        as in :class:`~repro.runtime.thread_backend.ThreadExecutor`.
+    """
+
+    def __init__(self, workers: Optional[int] = None,
+                 modulation: Optional[ModulationPolicy] = None,
+                 poll_interval: float = 0.005,
+                 timeout: float = 60.0,
+                 cancel_first_runs: bool = False,
+                 flush_interval: float = 0.01):
+        if workers is not None and workers < 1:
+            raise SchedulerError("need at least one worker process")
+        self.workers = workers or (os.cpu_count() or 1)
+        self.modulation = modulation
+        self.cancel_first_runs = cancel_first_runs
+        self.poll_interval = poll_interval
+        self.timeout = timeout
+        self.flush_interval = flush_interval
+        self._runs: List[_RegionRun] = []
+        self._task_run: Dict[int, _RegionRun] = {}
+        self._task_index: Dict[int, Tuple[int, int]] = {}
+        self._ready: List[FluidTask] = []
+        self._queued: set = set()
+        self._idle: List[int] = []
+        self._slot_task: Dict[int, FluidTask] = {}
+        self._epoch = 0.0
+        self._started = False
+        self._error: Optional[Exception] = None
+        self._context = None
+        self._processes: List = []
+        self._inboxes: List = []
+        self._outbox = None
+        self._cancel_flags = None
+
+    # ------------------------------------------------------------- public
+
+    def submit(self, region: FluidRegion,
+               after: Iterable[FluidRegion] = ()) -> FluidRegion:
+        self._runs.append(_RegionRun(len(self._runs), region, tuple(after)))
+        return region
+
+    def run(self) -> RunResult:
+        if self._started:
+            raise SchedulerError("executors are single-shot; build a new one")
+        self._started = True
+        if not self._runs:
+            return RunResult(0.0, [])
+        self._start_pool()
+        self._epoch = time.perf_counter()
+        deadline = self._epoch + self.timeout
+        try:
+            while True:
+                self._try_launches()
+                self._check_start_valves()
+                self._dispatch_ready()
+                if self._error is not None:
+                    raise self._error
+                if all(run.done for run in self._runs):
+                    break
+                self._drain_events()
+                self._check_workers()
+                if time.perf_counter() > deadline:
+                    raise SchedulerError(
+                        f"process backend timed out after {self.timeout}s: "
+                        + self._diagnose())
+        finally:
+            self._shutdown()
+        makespan = time.perf_counter() - self._epoch
+        return RunResult(makespan, [run.region for run in self._runs])
+
+    # ---------------------------------------------------------- GuardHost
+
+    def now(self) -> float:
+        return time.perf_counter() - self._epoch
+
+    def schedule_run(self, task: FluidTask) -> None:
+        self._enqueue(task)
+
+    def request_cancel(self, task: FluidTask) -> None:
+        super().request_cancel(task)
+        for slot, running in self._slot_task.items():
+            if running is task:
+                self._cancel_flags[slot] = 1
+
+    def task_completed(self, task: FluidTask) -> None:
+        run = self._task_run[id(task)]
+        if not run.done and run.region.complete:
+            run.done = True
+            run.region.stats.makespan = self.now() - run.launch_time
+            for sibling in run.region.tasks:
+                sibling.stats.finish(self.now())
+
+    def task_failed(self, task: FluidTask, error: Exception) -> None:
+        if self._error is None:
+            self._error = error
+
+    def admit_dynamic_task(self, region: FluidRegion,
+                           task: FluidTask) -> None:  # pragma: no cover
+        raise SchedulerError(
+            "the process backend does not support dynamic task graphs: "
+            "a spawned body would exist only in the worker process")
+
+    # ----------------------------------------------------- pool lifecycle
+
+    def _start_pool(self) -> None:
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise SchedulerError(
+                "the process backend needs the 'fork' start method "
+                "(task bodies are closures and cannot be pickled); "
+                "use the thread backend on this platform")
+        context = multiprocessing.get_context("fork")
+        self._context = context
+        self._outbox = context.Queue()
+        self._cancel_flags = context.Array("b", self.workers, lock=False)
+        for slot in range(self.workers):
+            inbox = context.Queue()
+            process = context.Process(
+                target=self._worker_main, args=(slot, inbox),
+                name=f"fluid-worker-{slot}", daemon=True)
+            self._inboxes.append(inbox)
+            self._processes.append(process)
+        # Fork only after every queue exists and before the first put
+        # spawns a feeder thread (forking a multi-threaded parent is
+        # where fork-based pools go wrong).
+        for process in self._processes:
+            process.start()
+        self._idle = list(range(self.workers))
+
+    def _shutdown(self) -> None:
+        for inbox in self._inboxes:
+            try:
+                inbox.put_nowait(None)
+            except Exception:
+                pass
+        for process in self._processes:
+            process.join(timeout=0.5)
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=0.5)
+            if process.is_alive():  # pragma: no cover - stubborn worker
+                process.kill()
+                process.join(timeout=0.5)
+        self._discard_pending_events()
+        for channel in self._inboxes + ([self._outbox] if self._outbox else []):
+            try:
+                channel.cancel_join_thread()
+                channel.close()
+            except Exception:
+                pass
+
+    def _discard_pending_events(self) -> None:
+        """Drop unapplied events, releasing any shared-memory payloads."""
+        if self._outbox is None:
+            return
+        while True:
+            try:
+                message = self._outbox.get_nowait()
+            except (queue_module.Empty, OSError, ValueError):
+                return
+            if message and message[0] in (_PROGRESS, _FINISHED, _CANCELLED):
+                for handle in message[5].values():
+                    handle.discard()
+
+    def _check_workers(self) -> None:
+        for slot, task in list(self._slot_task.items()):
+            process = self._processes[slot]
+            if not process.is_alive():
+                run = self._task_run[id(task)]
+                raise SchedulerError(
+                    f"worker {slot} died (exit code {process.exitcode}) "
+                    f"while running {run.region.name}/{task.name}")
+
+    # ------------------------------------------------- admission/dispatch
+
+    def _try_launches(self) -> None:
+        for run in self._runs:
+            if run.launched:
+                continue
+            if any(not self._run_for(dep).done for dep in run.after):
+                continue
+            run.launched = True
+            self._launch_region(run)
+
+    def _run_for(self, region: FluidRegion) -> _RegionRun:
+        for run in self._runs:
+            if run.region is region:
+                return run
+        raise SchedulerError(
+            f"region {region.name!r} in an 'after' clause was never submitted")
+
+    def _launch_region(self, run: _RegionRun) -> None:
+        region = run.region
+        graph = region.finalize()
+        run.launch_time = self.now()
+        run.coordinator = Coordinator(self, graph, modulation=self.modulation,
+                                      cancel_first_runs=self.cancel_first_runs)
+        for task_index, task in enumerate(region.tasks):
+            self._task_run[id(task)] = run
+            self._task_index[id(task)] = (run.index, task_index)
+            task.stats.enter(TaskState.INIT, self.now())
+            task.transition(TaskState.START_CHECK, self.now())
+
+    def _check_start_valves(self) -> None:
+        for run in self._runs:
+            if not run.launched or run.done:
+                continue
+            for task in run.region.tasks:
+                if task.state is TaskState.START_CHECK and \
+                        id(task) not in self._queued and \
+                        task.start_valves_satisfied():
+                    self._enqueue(task)
+
+    def _enqueue(self, task: FluidTask) -> None:
+        if id(task) not in self._queued:
+            self._queued.add(id(task))
+            self._ready.append(task)
+
+    def _dispatch_ready(self) -> None:
+        while self._idle and self._ready:
+            task = self._ready.pop(0)
+            self._queued.discard(id(task))
+            if task.state not in (TaskState.START_CHECK, TaskState.WAITING,
+                                  TaskState.DEP_STALLED):
+                continue  # completed (or started) while queued
+            if self._skip_pointless_rerun(task):
+                continue
+            if task.state is TaskState.START_CHECK and \
+                    not task.start_valves_satisfied():
+                continue  # non-monotone valve flipped back off
+            self._send_run(task)
+
+    def _skip_pointless_rerun(self, task: FluidTask) -> bool:
+        """Early termination before the body even starts (Section 6.1)."""
+        if not task.is_leaf and \
+                task.state in (TaskState.WAITING, TaskState.DEP_STALLED) and \
+                task.descendants_complete():
+            self._task_run[id(task)].coordinator.skip_rerun(task)
+            return True
+        return False
+
+    def _send_run(self, task: FluidTask) -> None:
+        slot = self._idle.pop()
+        region_index, task_index = self._task_index[id(task)]
+        region = self._runs[region_index].region
+        self._slot_task[slot] = task
+        self._cancel_flags[slot] = 0
+        task.transition(TaskState.RUNNING, self.now())
+        task.begin_run()
+        payloads = {}
+        for data in tuple(task.spec.inputs) + tuple(task.spec.outputs):
+            if data.name not in payloads:
+                payloads[data.name] = data.export_payload()
+        counts = {name: count.export_state()
+                  for name, count in region.counts.items()}
+        self._inboxes[slot].put(
+            ("run", region_index, task_index, task.run_index, payloads, counts))
+
+    # ----------------------------------------------------- event handling
+
+    def _drain_events(self) -> None:
+        try:
+            message = self._outbox.get(timeout=self.poll_interval)
+        except queue_module.Empty:
+            return
+        self._apply_event(message)
+        while True:
+            try:
+                message = self._outbox.get_nowait()
+            except queue_module.Empty:
+                return
+            self._apply_event(message)
+
+    def _apply_event(self, message: Tuple) -> None:
+        kind, slot, region_index, task_index = message[:4]
+        run = self._runs[region_index]
+        task = run.region.tasks[task_index]
+        if kind == _PROGRESS:
+            if task.state is TaskState.COMPLETE:
+                # Completed by a cascade while the body was still
+                # running: a late flush must not clear `final` on cells
+                # nobody will produce again.
+                for handle in message[5].values():
+                    handle.discard()
+            else:
+                self._apply_payloads(run.region, message[5])
+            self._replay_counts(run.region, message[4])
+            return
+        # Terminal events give the worker slot back.
+        self._slot_task.pop(slot, None)
+        self._cancel_flags[slot] = 0
+        self._idle.append(slot)
+        if kind == _ERROR:
+            exc_repr, tb_text = message[4], message[5]
+            cause = RuntimeError(f"{exc_repr}\n{tb_text}")
+            error = TaskBodyError(run.region.name, task.name,
+                                  task.run_index, cause)
+            error.__cause__ = cause
+            run.coordinator.body_failed(task, error)
+            return
+        if task.state is TaskState.COMPLETE:
+            # Completed concurrently by a cascade while the body was
+            # still running remotely; its output will never be consumed,
+            # but the count observations are real — replay them.
+            for handle in message[5].values():
+                handle.discard()
+            self._replay_counts(run.region, message[4])
+            return
+        if kind == _FINISHED:
+            # Order matters (mirrors the simulator's _body_done): install
+            # the final payloads, mark outputs final via body_finished,
+            # and only then publish the last count batch, so a consumer
+            # whose valve flips on the final update observes final data.
+            self._apply_payloads(run.region, message[5])
+            task.transition(TaskState.END_CHECK, self.now())
+            run.coordinator.body_finished(task)
+            self._replay_counts(run.region, message[4])
+        elif kind == _CANCELLED:
+            for handle in message[5].values():
+                handle.discard()
+            run.coordinator.body_cancelled(task)
+            self._replay_counts(run.region, message[4])
+
+    def _apply_payloads(self, region: FluidRegion, payloads: Dict) -> None:
+        for name, handle in payloads.items():
+            region.datas[name].apply_payload(import_payload(handle))
+
+    def _replay_counts(self, region: FluidRegion,
+                       records: List[Tuple[str, Any]]) -> None:
+        for name, value in records:
+            region.counts[name].replay(value)
+
+    # ------------------------------------------------------------- worker
+
+    def _worker_main(self, slot: int, inbox) -> None:
+        """Entry point of one forked worker: run bodies, stream updates."""
+        sink = RecordingSink()
+        prepared: set = set()
+        while True:
+            message = inbox.get()
+            if message is None:
+                return
+            _kind, region_index, task_index, run_index, payloads, counts = \
+                message
+            region = self._runs[region_index].region
+            if region_index not in prepared:
+                # The worker's forked copy finalizes independently;
+                # build() must therefore be structurally deterministic
+                # (the graphs in this repo all are).
+                region.finalize()
+                region.bind_sink(sink)
+                prepared.add(region_index)
+            for name, (value, updates) in counts.items():
+                region.counts[name].install_state(value, updates)
+            for name, handle in payloads.items():
+                region.datas[name].apply_payload(import_payload(handle),
+                                                 bump=False)
+            task = region.tasks[task_index]
+            self._worker_run_body(slot, region_index, task_index, run_index,
+                                  task, sink)
+
+    def _worker_run_body(self, slot: int, region_index: int, task_index: int,
+                         run_index: int, task: FluidTask,
+                         sink: RecordingSink) -> None:
+        outbox = self._outbox
+        task.run_index = run_index
+        task.cancel_requested = False
+        task.state = TaskState.RUNNING  # worker-local; parent is authoritative
+        sink.drain()  # drop anything buffered outside a body
+        versions = {data.name: data.version for data in task.spec.outputs}
+        last_flush = time.monotonic()
+        try:
+            generator = task.make_generator(TaskContext(task))
+            for _cost in generator:
+                if self._cancel_flags[slot]:
+                    task.cancel_requested = True
+                    generator.close()
+                    outbox.put((_CANCELLED, slot, region_index, task_index,
+                                sink.drain(), {}))
+                    return
+                now = time.monotonic()
+                if now - last_flush >= self.flush_interval:
+                    last_flush = now
+                    payloads = {}
+                    for data in task.spec.outputs:
+                        if data.version != versions[data.name]:
+                            versions[data.name] = data.version
+                            payloads[data.name] = data.export_payload()
+                    if sink.buffer or payloads:
+                        outbox.put((_PROGRESS, slot, region_index, task_index,
+                                    sink.drain(), payloads))
+        except Exception as exc:
+            outbox.put((_ERROR, slot, region_index, task_index,
+                        repr(exc), traceback.format_exc()))
+            return
+        payloads = {data.name: data.export_payload()
+                    for data in task.spec.outputs}
+        outbox.put((_FINISHED, slot, region_index, task_index,
+                    sink.drain(), payloads))
+
+    # ------------------------------------------------------------- debug
+
+    def _diagnose(self) -> str:
+        lines = []
+        for run in self._runs:
+            if run.done:
+                continue
+            for task in run.region.tasks:
+                if task.state is not TaskState.COMPLETE:
+                    lines.append(f"{run.region.name}/{task.name}={task.state}")
+        busy = ", ".join(f"worker{slot}={task.name}"
+                         for slot, task in self._slot_task.items())
+        return "; ".join(lines) + (f" [busy: {busy}]" if busy else "")

@@ -23,8 +23,8 @@ completed and an admission slot is free.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, Iterable, List, Optional, Set, Tuple
 
 from ..core.count import Count, UpdateSink
 from ..core.errors import SchedulerError, TaskBodyError

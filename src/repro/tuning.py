@@ -28,7 +28,7 @@ meet the error budget.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from .apps.base import FluidApp
 

@@ -9,7 +9,7 @@ K-means ("three input images with different pixel diversities").
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict
 
 import numpy as np
 

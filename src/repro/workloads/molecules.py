@@ -10,7 +10,6 @@ pairwise interaction energy, and one planted low-energy pose per
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
 
 import numpy as np
 

@@ -1,16 +1,17 @@
-"""Parity tests: the simulator and thread backends share one semantics.
+"""Parity tests: the simulator, thread and process backends share one
+semantics.
 
-Both executors drive the same :class:`~repro.core.guard.Coordinator`;
-these tests check that for the same region the two backends produce the
-same *outputs* (determinism of timing is only promised by the
-simulator).  Includes a hypothesis sweep over random layered DAGs.
+All three executors drive the same :class:`~repro.core.guard.Coordinator`;
+these tests check that for the same region the backends produce the same
+*outputs* (determinism of timing is only promised by the simulator), and
+that fully-serialized valve settings produce the same deterministic
+re-execution counts everywhere.  Includes a hypothesis sweep over random
+layered DAGs.
 """
 
-import numpy as np
-import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, settings
 
-from repro import SimExecutor, ThreadExecutor, run_serial
+from repro import ProcessExecutor, SimExecutor, ThreadExecutor
 
 from test_properties import build_dag_region, dag_specs
 from util import (chain_expected, diamond_expected, make_chain,
@@ -31,34 +32,74 @@ def run_threads(region):
     return region
 
 
+def run_process(region):
+    executor = ProcessExecutor(workers=2, timeout=60)
+    executor.submit(region)
+    executor.run()
+    return region
+
+
+ALL_BACKENDS = [run_sim, run_threads, run_process]
+
+
 class TestTopologyParity:
     def test_pipeline_outputs_agree(self):
-        sim = run_sim(make_pipeline(n=30, exact_quality=True))
-        thread = run_threads(make_pipeline(n=30, exact_quality=True))
-        assert sim.output("out") == thread.output("out") == \
-            pipeline_expected(30)
+        outputs = [run(make_pipeline(n=30, exact_quality=True)).output("out")
+                   for run in ALL_BACKENDS]
+        assert outputs == [pipeline_expected(30)] * len(ALL_BACKENDS)
 
     def test_chain_outputs_agree(self):
-        sim = run_sim(make_chain(depth=3, n=20))
-        thread = run_threads(make_chain(depth=3, n=20))
-        assert sim.output("a2") == thread.output("a2") == \
-            chain_expected(3, 20)
+        outputs = [run(make_chain(depth=3, n=20)).output("a2")
+                   for run in ALL_BACKENDS]
+        assert outputs == [chain_expected(3, 20)] * len(ALL_BACKENDS)
 
     def test_diamond_outputs_agree(self):
-        sim = run_sim(make_diamond(n=20, exact_quality=True))
-        thread = run_threads(make_diamond(n=20, exact_quality=True))
-        assert sim.output("out") == thread.output("out") == \
-            diamond_expected(20)
+        outputs = [run(make_diamond(n=20, exact_quality=True)).output("out")
+                   for run in ALL_BACKENDS]
+        assert outputs == [diamond_expected(20)] * len(ALL_BACKENDS)
 
-    def test_racing_pipeline_repairs_on_both_backends(self):
+    def test_racing_pipeline_repairs_on_all_backends(self):
         config = dict(n=50, producer_cost=2.0, consumer_cost=0.1,
                       start_fraction=0.3, exact_quality=True)
         sim = run_sim(make_pipeline(**config))
         thread = run_threads(make_pipeline(**config))
+        process = run_process(make_pipeline(**config))
         assert sim.output("out") == pipeline_expected(50)
         assert thread.output("out") == pipeline_expected(50)
-        # Both backends observed at least one quality failure.
+        assert process.output("out") == pipeline_expected(50)
+        # The simulator deterministically observed a quality failure; the
+        # real-time backends may legitimately win the race, but whenever
+        # the end valve rejected a run they must also have re-executed.
         assert sim.graph.task("consume").stats.quality_failures >= 1
+        for region in (thread, process):
+            consume = region.graph.task("consume")
+            assert consume.stats.runs >= 1 + consume.stats.quality_failures
+
+
+class TestDeterministicReruns:
+    """Fully-serialized valves give the same run counts on every backend."""
+
+    def test_pipeline_serialized_runs_once_everywhere(self):
+        for run in ALL_BACKENDS:
+            region = run(make_pipeline(n=20, start_fraction=1.0,
+                                       exact_quality=True))
+            consume = region.graph.task("consume")
+            assert consume.stats.runs == 1, run.__name__
+            assert consume.stats.quality_failures == 0, run.__name__
+
+    def test_chain_serialized_runs_once_everywhere(self):
+        for run in ALL_BACKENDS:
+            region = run(make_chain(depth=3, n=12, start_fraction=1.0))
+            for task in region.tasks:
+                assert task.stats.runs == 1, (run.__name__, task.name)
+                assert task.stats.quality_failures == 0
+
+    def test_diamond_serialized_runs_once_everywhere(self):
+        for run in ALL_BACKENDS:
+            region = run(make_diamond(n=12, start_fraction=1.0,
+                                      exact_quality=True))
+            for task in region.tasks:
+                assert task.stats.runs == 1, (run.__name__, task.name)
 
 
 @settings(max_examples=10, deadline=None)
@@ -80,12 +121,26 @@ def test_random_dags_agree_across_backends(spec):
                 expected[node]
 
 
+@settings(max_examples=5, deadline=None)
+@given(dag_specs())
+def test_random_dags_agree_on_process_backend(spec):
+    nodes, costs, fraction = spec
+    region, expected = build_dag_region(nodes, costs, fraction, n=8)
+    run_process(region)
+    children = [[] for _ in nodes]
+    for node, parents in enumerate(nodes):
+        for p in parents:
+            children[p].append(node)
+    for node, kids in enumerate(children):
+        if not kids:
+            assert list(region.datas[f"d{node}"].read()) == expected[node]
+
+
 class TestStatsParity:
-    def test_both_backends_record_visits(self):
+    def test_all_backends_record_visits(self):
         from repro.core.states import TaskState
-        sim = run_sim(make_pipeline(n=20))
-        thread = run_threads(make_pipeline(n=20))
-        for region in (sim, thread):
+        for run in ALL_BACKENDS:
+            region = run(make_pipeline(n=20))
             for task in region.tasks:
                 assert task.stats.visits[TaskState.RUNNING] >= 1
                 assert task.stats.visits[TaskState.COMPLETE] == 1

@@ -21,3 +21,20 @@ class TestBenchCli:
 
     def test_sweep_unknown_app(self):
         assert bench_main(["--sweep", "nonsense"]) == 1
+
+    def test_quick_runs_one_input_per_app(self, capsys):
+        assert bench_main(["--app", "fft", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "N1K" in out and "N4K" not in out
+
+    def test_backend_thread(self, capsys):
+        assert bench_main(["--backend", "thread", "--scale", "0.01",
+                           "--tasks", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup vs thread" in out
+
+    def test_backend_sim_falls_back_to_figure6(self, capsys):
+        assert bench_main(["--backend", "sim", "--app", "fft",
+                           "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "normalized to the original" in out

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.count import Count, ImmediateSink, UpdateSink
+from repro.core.count import Count, UpdateSink
 
 
 class RecordingSink(UpdateSink):

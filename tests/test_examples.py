@@ -4,15 +4,20 @@ import os
 import subprocess
 import sys
 
-import pytest
-
-EXAMPLES = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+REPO = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir))
+EXAMPLES = os.path.join(REPO, "examples")
+SRC = os.path.join(REPO, "src")
 
 
 def run_example(name, timeout=180):
+    # Examples import ``repro`` from the source tree; the subprocess does
+    # not inherit pytest's import path, so propagate it explicitly.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [SRC] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
     result = subprocess.run(
         [sys.executable, name], cwd=EXAMPLES, capture_output=True,
-        text=True, timeout=timeout)
+        text=True, timeout=timeout, env=env)
     assert result.returncode == 0, result.stderr
     return result.stdout
 
@@ -51,3 +56,9 @@ class TestExamples:
         out = run_example("dynamic_task_graph.py")
         assert "outputs agree with serial: True" in out
         assert "spawn events in trace:    4" in out
+
+    def test_process_parallel(self):
+        out = run_example("process_parallel.py")
+        assert out.count("outputs ok: True") == 2
+        assert "complete: True" in out
+        assert "speedup" in out

@@ -1,6 +1,5 @@
 """Tests for the ASCII Gantt timeline recorder."""
 
-import pytest
 
 from repro import SimExecutor
 from repro.runtime.gantt import GLYPHS, TimelineRecorder

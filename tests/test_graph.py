@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.data import FluidArray, FluidData
+from repro.core.data import FluidData
 from repro.core.errors import GraphError
 from repro.core.graph import TaskGraph
 from repro.core.task import FluidTask, TaskSpec

@@ -6,7 +6,6 @@ failure, request propagation into the D state, early termination, and
 the worst-case convergence to precise output.
 """
 
-import pytest
 
 from repro import (FluidRegion, ModulationPolicy, NeverValve, PercentValve,
                    PredicateValve, SimExecutor, TaskState)

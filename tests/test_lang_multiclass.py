@@ -6,7 +6,6 @@ EdgeDetection objects and runs both regions (inter-region concurrency).
 
 import textwrap
 
-import pytest
 
 from repro import SimExecutor, submit_all
 from repro.lang import load_source, translate_source

@@ -2,7 +2,6 @@
 
 import textwrap
 
-import pytest
 
 from repro.lang.diagnostics import DiagnosticSink
 from repro.lang.parser import (parse_count_pragma, parse_data_pragma,

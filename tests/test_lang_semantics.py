@@ -2,7 +2,6 @@
 
 import textwrap
 
-from repro.lang.diagnostics import DiagnosticSink
 from repro.lang.parser import parse_source
 from repro.lang.semantics import analyze_class
 

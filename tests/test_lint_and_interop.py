@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import FluidRegion, PercentValve
+from repro import FluidRegion
 from repro.workloads import random_graph
 from repro.workloads.graphs import GraphInput, bellman_ford_reference
 

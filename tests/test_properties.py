@@ -17,8 +17,7 @@ import math
 
 from hypothesis import given, settings, strategies as st
 
-from repro import (FluidRegion, Overheads, PercentValve, PredicateValve,
-                   SimExecutor, TaskState, run_serial)
+from repro import (FluidRegion, PercentValve, PredicateValve, SimExecutor, TaskState, run_serial)
 from repro.core.count import Count
 from repro.core.valves import CountValve
 from repro.runtime.events import EventQueue

@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro import (AlwaysValve, FluidRegion, GraphError, PercentValve,
-                   SimExecutor, run_serial)
+from repro import AlwaysValve, FluidRegion, GraphError, SimExecutor, run_serial
 from repro.core.count import ImmediateSink
 
 from util import make_pipeline, pipeline_expected

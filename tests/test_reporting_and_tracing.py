@@ -1,6 +1,5 @@
 """Tests for the trace store and the benchmark table renderer."""
 
-import pytest
 
 from repro.bench.reporting import render_series, render_table
 from repro.runtime.tracing import Trace, TraceEvent

@@ -2,11 +2,11 @@
 
 import pytest
 
-from repro import (FluidRegion, Overheads, PercentValve, SchedulerError,
-                   SimExecutor, TaskState, run_serial, submit_all,
-                   submit_chain, submit_stages)
+from repro import (FluidRegion, Overheads, SchedulerError, SimExecutor,
+                   TaskState, run_serial, submit_all, submit_chain,
+                   submit_stages)
 
-from util import make_pipeline, pipeline_expected
+from util import make_pipeline
 
 
 def fresh_executor(**kwargs):

@@ -1,10 +1,8 @@
 """Stress tests: larger task populations, deeper chains, many regions."""
 
-import numpy as np
-import pytest
 
-from repro import (FluidRegion, Overheads, PercentValve, PredicateValve,
-                   SimExecutor, TaskState, ThreadExecutor, submit_all)
+from repro import (FluidRegion, PercentValve, PredicateValve, SimExecutor,
+                   ThreadExecutor, submit_all)
 
 from util import make_chain, make_pipeline
 

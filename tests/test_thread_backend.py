@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro import (PercentValve, SchedulerError, TaskState, ThreadExecutor,
-                   submit_all, submit_chain, sync)
+from repro import (SchedulerError, TaskState, ThreadExecutor, submit_all, submit_chain, sync)
 
 from util import (chain_expected, diamond_expected, make_chain, make_diamond,
                   make_pipeline, pipeline_expected)

@@ -106,11 +106,18 @@ class Coordinator:
     def __init__(self, host: GuardHost, graph: TaskGraph,
                  modulation: Optional[ModulationPolicy] = None,
                  trace: Optional[Callable[[str, FluidTask, str], None]] = None,
-                 cancel_first_runs: bool = False):
+                 cancel_first_runs: bool = False,
+                 policy: Optional[object] = None):
         self.host = host
         self.graph = graph
         self.modulation = modulation or ModulationPolicy(0.0)
         self._trace = trace
+        #: SchedLab schedule policy: when set, the fan-out order of
+        #: update signals, child requests and completion cascades is
+        #: chosen by the policy instead of graph declaration order.
+        #: None (the default) preserves the historical deterministic
+        #: order exactly.
+        self.policy = policy
         #: Early termination always applies to re-executions (Section
         #: 6.1).  Applying it to *first* runs — killing a producer whose
         #: consumers already met quality, as the paper does for NN's
@@ -212,20 +219,28 @@ class Coordinator:
 
     def _ancestors(self, task: FluidTask):
         seen = set()
-        stack = list(task.parents)
+        stack = self._ordered("cascade", task.parents)
         while stack:
             node = stack.pop()
             if node.name in seen:
                 continue
             seen.add(node.name)
             yield node
-            stack.extend(node.parents)
+            stack.extend(self._ordered("cascade", node.parents))
 
     # ---------------------------------------------------------------- signals
 
+    def _ordered(self, point: str, tasks) -> "list[FluidTask]":
+        """Fan-out order for signals: policy-chosen when exploring."""
+        tasks = list(tasks)
+        if self.policy is None or len(tasks) <= 1:
+            return tasks
+        permutation = self.policy.order(point, [t.name for t in tasks])
+        return [tasks[i] for i in permutation]
+
     def _deliver_update_signals(self, producer: FluidTask) -> None:
         """The producer finished a run: more accurate data exists."""
-        for child in producer.children:
+        for child in self._ordered("signal", producer.children):
             if child.state is TaskState.WAITING or \
                     child.state is TaskState.DEP_STALLED:
                 self._rerun(child, "input-update")
@@ -252,7 +267,7 @@ class Coordinator:
             # producer of an imprecise input is idle in W, request a more
             # accurate version (transition (3)).  Producers still RUNNING
             # are left alone: their completion will wake us.
-            for parent in task.parents:
+            for parent in self._ordered("request", task.parents):
                 if not self._edge_precise(parent, task):
                     self._request(parent)
 
@@ -288,7 +303,7 @@ class Coordinator:
             return
         producer.transition(TaskState.DEP_STALLED, self.host.now())
         self._emit("dep-stalled", producer, "child-request")
-        for grandparent in producer.parents:
+        for grandparent in self._ordered("request", producer.parents):
             if not self._edge_precise(grandparent, producer):
                 self._request(grandparent)
 

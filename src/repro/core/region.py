@@ -55,6 +55,10 @@ class FluidRegion:
         # Set by an executor that supports dynamic task graphs; a
         # TaskContext.spawn() call routes through it (Section 8).
         self.dynamic_host = None
+        # Set by SchedLab to inject faults (body exceptions, valve
+        # flakiness, delays) into this region's tasks; None in normal
+        # operation.  See repro.schedlab.faults.FaultPlan.
+        self.fault_plan = None
         self._bound_sink: Optional[UpdateSink] = None
 
     # -- declaration API ---------------------------------------------------

@@ -24,7 +24,7 @@ States
 from __future__ import annotations
 
 import enum
-from typing import Dict, FrozenSet
+from typing import Callable, Dict, FrozenSet, List
 
 from .errors import StateError
 
@@ -63,3 +63,26 @@ def check_transition(src: TaskState, dst: TaskState) -> None:
     """Raise :class:`StateError` unless ``src -> dst`` is a Figure-5 arc."""
     if dst not in LEGAL_TRANSITIONS[src]:
         raise StateError(f"illegal task state transition {src} -> {dst}")
+
+
+#: Observers called as ``cb(task, src, dst)`` on every FluidTask
+#: transition, *after* legality checking.  SchedLab's InvariantChecker
+#: installs one to audit whole runs; the list is empty in normal
+#: operation so the hot path pays only a truthiness test.
+TRANSITION_OBSERVERS: List[Callable] = []
+
+
+def add_transition_observer(callback: Callable) -> None:
+    TRANSITION_OBSERVERS.append(callback)
+
+
+def remove_transition_observer(callback: Callable) -> None:
+    try:
+        TRANSITION_OBSERVERS.remove(callback)
+    except ValueError:
+        pass
+
+
+def notify_transition(task, src: TaskState, dst: TaskState) -> None:
+    for callback in tuple(TRANSITION_OBSERVERS):
+        callback(task, src, dst)

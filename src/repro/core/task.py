@@ -26,7 +26,8 @@ from typing import Callable, Dict, Generator, Sequence
 
 from .data import DataSnapshot, FluidData
 from .errors import GraphError
-from .states import TaskState, check_transition
+from .states import (TaskState, check_transition, notify_transition,
+                     TRANSITION_OBSERVERS)
 from .stats import TaskStats
 from .valves import Valve
 
@@ -136,8 +137,11 @@ class FluidTask:
 
     def transition(self, new_state: TaskState, now: float) -> None:
         check_transition(self.state, new_state)
+        old_state = self.state
         self.state = new_state
         self.stats.enter(new_state, now)
+        if TRANSITION_OBSERVERS:
+            notify_transition(self, old_state, new_state)
 
     # -- run bookkeeping ---------------------------------------------------
 
@@ -158,6 +162,9 @@ class FluidTask:
             raise GraphError(
                 f"task {self.name!r}: body must be a generator function "
                 f"(got {type(generator).__name__})")
+        fault_plan = getattr(self.region, "fault_plan", None)
+        if fault_plan is not None:
+            generator = fault_plan.wrap_body(self, generator)
         return generator
 
     def finish_run(self) -> None:
@@ -173,10 +180,24 @@ class FluidTask:
                    for data in self.spec.inputs)
 
     def end_valves_satisfied(self) -> bool:
+        forced = self._valve_fault("end")
+        if forced is not None:
+            return forced
         return all(valve.check() for valve in self.spec.end_valves)
 
     def start_valves_satisfied(self) -> bool:
+        forced = self._valve_fault("start")
+        if forced is not None:
+            return forced
         return all(valve.check() for valve in self.spec.start_valves)
+
+    def _valve_fault(self, which: str) -> "bool | None":
+        """SchedLab valve flakiness: a fault plan may transiently force
+        this task's valve verdict; None means no fault applies."""
+        fault_plan = getattr(self.region, "fault_plan", None)
+        if fault_plan is None:
+            return None
+        return fault_plan.valve_override(self, which)
 
     def descendants_complete(self) -> bool:
         return all(task.state is TaskState.COMPLETE

@@ -105,7 +105,8 @@ class ProcessExecutor(Executor, GuardHost):
                  poll_interval: float = 0.005,
                  timeout: float = 60.0,
                  cancel_first_runs: bool = False,
-                 flush_interval: float = 0.01):
+                 flush_interval: float = 0.01,
+                 policy: Optional[object] = None):
         if workers is not None and workers < 1:
             raise SchedulerError("need at least one worker process")
         self.workers = workers or (os.cpu_count() or 1)
@@ -114,6 +115,11 @@ class ProcessExecutor(Executor, GuardHost):
         self.poll_interval = poll_interval
         self.timeout = timeout
         self.flush_interval = flush_interval
+        #: SchedLab schedule policy: chooses which ready task is
+        #: dispatched to a free worker, and orders the Coordinator's
+        #: signal fan-out (all in the parent's control loop, so these
+        #: decisions are deterministic even though body timing is not).
+        self.policy = policy
         self._runs: List[_RegionRun] = []
         self._task_run: Dict[int, _RegionRun] = {}
         self._task_index: Dict[int, Tuple[int, int]] = {}
@@ -294,7 +300,8 @@ class ProcessExecutor(Executor, GuardHost):
         graph = region.finalize()
         run.launch_time = self.now()
         run.coordinator = Coordinator(self, graph, modulation=self.modulation,
-                                      cancel_first_runs=self.cancel_first_runs)
+                                      cancel_first_runs=self.cancel_first_runs,
+                                      policy=self.policy)
         for task_index, task in enumerate(region.tasks):
             self._task_run[id(task)] = run
             self._task_index[id(task)] = (run.index, task_index)
@@ -318,7 +325,12 @@ class ProcessExecutor(Executor, GuardHost):
 
     def _dispatch_ready(self) -> None:
         while self._idle and self._ready:
-            task = self._ready.pop(0)
+            if self.policy is not None and len(self._ready) > 1:
+                index = self.policy.choose(
+                    "dispatch", [t.name for t in self._ready])
+                task = self._ready.pop(index)
+            else:
+                task = self._ready.pop(0)
             self._queued.discard(id(task))
             if task.state not in (TaskState.START_CHECK, TaskState.WAITING,
                                   TaskState.DEP_STALLED):
@@ -355,6 +367,22 @@ class ProcessExecutor(Executor, GuardHost):
                   for name, count in region.counts.items()}
         self._inboxes[slot].put(
             ("run", region_index, task_index, task.run_index, payloads, counts))
+        self._maybe_kill_worker(region, task, slot)
+
+    def _maybe_kill_worker(self, region: FluidRegion, task: FluidTask,
+                           slot: int) -> None:
+        """SchedLab fault injection: SIGKILL the worker a task was just
+        dispatched to, exercising the parent's dead-worker detection
+        (``_check_workers`` surfaces it as a SchedulerError)."""
+        fault_plan = getattr(region, "fault_plan", None)
+        if fault_plan is None or not fault_plan.should_kill_worker(task):
+            return
+        import signal
+
+        process = self._processes[slot]
+        if process.is_alive() and process.pid:
+            os.kill(process.pid, signal.SIGKILL)
+            process.join(timeout=1.0)
 
     # ----------------------------------------------------- event handling
 

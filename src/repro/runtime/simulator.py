@@ -120,7 +120,8 @@ class SimExecutor(Executor, GuardHost):
                  modulation: Optional[ModulationPolicy] = None,
                  max_active_regions: Optional[int] = None,
                  cancel_first_runs: bool = False,
-                 trace: bool = False):
+                 trace: bool = False,
+                 policy: Optional[Any] = None):
         if cores < 1:
             raise SchedulerError("need at least one core")
         self.cores = cores
@@ -129,8 +130,12 @@ class SimExecutor(Executor, GuardHost):
         self.modulation = modulation
         self.max_active_regions = max_active_regions or cores
         self.trace = Trace() if trace else None
+        #: SchedLab schedule policy: tie-breaks among simultaneous
+        #: events, core allocation among ready tasks, and watcher wake
+        #: order.  None keeps the historical deterministic FIFO order.
+        self.policy = policy
 
-        self._queue = EventQueue()
+        self._queue = EventQueue(policy)
         self._now = 0.0
         self._free_cores = cores
         self._ready: Deque[FluidTask] = deque()
@@ -195,7 +200,8 @@ class SimExecutor(Executor, GuardHost):
         self._guards_launched += 1
         region.stats.overhead_time += launch
         self._queue.push(self._now + launch,
-                         lambda: self._enter_start_check(task))
+                         lambda: self._enter_start_check(task),
+                         key=f"start:{task.name}")
         self._record("spawn", region.name, task.name, "dynamic")
 
     # ------------------------------------------------------- admission
@@ -216,7 +222,8 @@ class SimExecutor(Executor, GuardHost):
             setup = self.overheads.region_setup
             run.region.stats.overhead_time += setup
             self._queue.push(self._now + setup,
-                             lambda run=run: self._launch_region(run))
+                             lambda run=run: self._launch_region(run),
+                             key=f"launch:{run.region.name}")
 
     def _run_for(self, region: FluidRegion) -> _RegionRun:
         for run in self._runs:
@@ -234,7 +241,8 @@ class SimExecutor(Executor, GuardHost):
         run.coordinator = Coordinator(
             self, graph, modulation=self.modulation,
             trace=self._make_trace(region),
-            cancel_first_runs=self.cancel_first_runs)
+            cancel_first_runs=self.cancel_first_runs,
+            policy=self.policy)
         for task in graph:
             self._task_region[id(task)] = run
             task.stats.enter(TaskState.INIT, self._now)
@@ -243,7 +251,8 @@ class SimExecutor(Executor, GuardHost):
             region.stats.overhead_time += launch
             self._queue.push(
                 self._now + launch,
-                lambda task=task: self._enter_start_check(task))
+                lambda task=task: self._enter_start_check(task),
+                key=f"start:{task.name}")
         self._record("launch", region.name, "", f"{len(graph)} tasks")
 
     def _finish_region(self, run: _RegionRun) -> None:
@@ -304,7 +313,7 @@ class SimExecutor(Executor, GuardHost):
     def _release_core(self) -> None:
         self._free_cores += 1
         while self._free_cores > 0 and self._ready:
-            task = self._ready.popleft()
+            task = self._pick_ready()
             self._queued.discard(id(task))
             if task.state not in (TaskState.START_CHECK, TaskState.WAITING,
                                   TaskState.DEP_STALLED):
@@ -319,6 +328,16 @@ class SimExecutor(Executor, GuardHost):
                 continue
             self._free_cores -= 1
             self._begin_run(task)
+
+    def _pick_ready(self) -> FluidTask:
+        """Next ready task for a freed core: FIFO, or policy-chosen."""
+        if self.policy is None or len(self._ready) <= 1:
+            return self._ready.popleft()
+        index = self.policy.choose(
+            "core", [task.name for task in self._ready])
+        task = self._ready[index]
+        del self._ready[index]
+        return task
 
     def _skip_pointless_rerun(self, task: FluidTask) -> bool:
         """Early termination before the body even starts (Section 6.1)."""
@@ -370,7 +389,8 @@ class SimExecutor(Executor, GuardHost):
             raise SchedulerError(
                 f"task {task.name!r} yielded a negative cost {cost}")
         self._queue.push(self._now + cost,
-                         lambda: self._chunk_done(task, captured))
+                         lambda: self._chunk_done(task, captured),
+                         key=f"chunk:{task.name}")
 
     def _chunk_done(self, task: FluidTask,
                     captured: List[Tuple[Count, Any]]) -> None:
@@ -395,12 +415,14 @@ class SimExecutor(Executor, GuardHost):
             run.coordinator.body_finished(task)
             self._publish(captured)
 
-        self._queue.push(self._now + self.overheads.end_check, finish)
+        self._queue.push(self._now + self.overheads.end_check, finish,
+                         key=f"end:{task.name}")
 
     # ---------------------------------------------------------- updates
 
     def _publish(self, captured: List[Tuple[Count, Any]]) -> None:
         woken: Set[int] = set()
+        to_wake: List[FluidTask] = []
         for count, value in captured:
             count.dispatch(value)
         for count, _value in captured:
@@ -410,7 +432,13 @@ class SimExecutor(Executor, GuardHost):
             for task in tuple(watchers.values()):
                 if id(task) not in woken:
                     woken.add(id(task))
-                    self._recheck(task)
+                    to_wake.append(task)
+        if self.policy is not None and len(to_wake) > 1:
+            permutation = self.policy.order(
+                "wake", [task.name for task in to_wake])
+            to_wake = [to_wake[i] for i in permutation]
+        for task in to_wake:
+            self._recheck(task)
 
     # ------------------------------------------------------------ trace
 

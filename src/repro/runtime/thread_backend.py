@@ -35,6 +35,7 @@ class _NotifyingSink(UpdateSink):
         self.executor = executor
 
     def count_updated(self, count: Count, value) -> None:
+        self.executor._sleep_jitter("publish")
         with self.executor._lock:
             count.dispatch(value)
             self.executor._condition.notify_all()
@@ -46,11 +47,18 @@ class ThreadExecutor(Executor, GuardHost):
     def __init__(self, modulation: Optional[ModulationPolicy] = None,
                  poll_interval: float = 0.002,
                  timeout: float = 60.0,
-                 cancel_first_runs: bool = False):
+                 cancel_first_runs: bool = False,
+                 policy: Optional[object] = None):
         self.modulation = modulation
         self.cancel_first_runs = cancel_first_runs
         self.poll_interval = poll_interval
         self.timeout = timeout
+        #: SchedLab schedule policy.  Real threads cannot be ordered
+        #: deterministically, so the policy contributes (a) seeded
+        #: jitter at wake/publish points to amplify interleaving
+        #: diversity and (b) deterministic fan-out order inside the
+        #: Coordinator (which runs under the executor lock).
+        self.policy = policy
         self._lock = threading.RLock()
         self._condition = threading.Condition(self._lock)
         self._submissions: List[Tuple[FluidRegion, Tuple[FluidRegion, ...]]] = []
@@ -139,7 +147,8 @@ class ThreadExecutor(Executor, GuardHost):
         region.bind_sink(sink)
         region.dynamic_host = self
         coordinator = Coordinator(self, graph, modulation=self.modulation,
-                                  cancel_first_runs=self.cancel_first_runs)
+                                  cancel_first_runs=self.cancel_first_runs,
+                                  policy=self.policy)
         self._coordinators[id(region)] = coordinator
         for task in graph:
             task.stats.enter(TaskState.INIT, self.now())
@@ -152,8 +161,22 @@ class ThreadExecutor(Executor, GuardHost):
 
     # --------------------------------------------------------- guard thread
 
+    def _sleep_jitter(self, point: str) -> None:
+        """Policy-driven chaos: a tiny seeded delay before a wake point.
+
+        The jitter amounts come from the policy's PRNG, so a seed sweep
+        explores a diverse (if not replayable) set of real
+        interleavings; with no policy this is a no-op on the hot path.
+        """
+        if self.policy is None:
+            return
+        delay = self.policy.jitter(point)
+        if delay > 0.0:
+            time.sleep(delay)
+
     def _guard_main(self, task: FluidTask, coordinator: Coordinator) -> None:
         """The per-task guard: Figure 5 driven by a real thread."""
+        self._sleep_jitter(f"guard:{task.name}")
         with self._lock:
             if task.state is TaskState.INIT:
                 task.transition(TaskState.START_CHECK, self.now())
@@ -162,6 +185,7 @@ class ThreadExecutor(Executor, GuardHost):
                 self._condition.wait(self.poll_interval)
         run_event = self._run_events[id(task)]
         while True:
+            self._sleep_jitter(f"wake:{task.name}")
             with self._lock:
                 if task.state is TaskState.COMPLETE:
                     return

@@ -1,0 +1,39 @@
+"""SchedLab: deterministic schedule exploration + fault injection.
+
+The Fluid correctness story (paper Section 6) is that the seven-state
+guard machine degenerates to a precise serial execution in the worst
+case; with real thread/process backends the guard decisions run truly
+concurrently, and relaxation bugs hide in rare schedules rather than the
+happy path.  SchedLab makes those schedules reachable and repeatable:
+
+* :mod:`~repro.schedlab.policy` — pluggable :class:`SchedulePolicy`
+  implementations (seeded random, PCT-style priorities, exhaustive
+  enumeration up to a depth, record/replay) consumed by the event queue,
+  the simulator's core allocator, the guard's signal fan-out, and the
+  real backends' wake points;
+* :mod:`~repro.schedlab.faults` — :class:`FaultPlan`: body exceptions,
+  transient valve flakiness, artificial delays, worker kills;
+* :mod:`~repro.schedlab.invariants` — :class:`InvariantChecker`: every
+  observed transition is a ``LEGAL_TRANSITIONS`` arc, every task reaches
+  ``COMPLETE`` exactly once, and strict-valve schedules bit-match the
+  serial precise run;
+* :mod:`~repro.schedlab.harness` / ``python -m repro.schedlab`` — seed
+  sweeps over scenario apps, failure shrinking, replayable artifacts.
+"""
+
+from .faults import Fault, FaultInjected, FaultPlan
+from .invariants import InvariantChecker, InvariantViolation
+from .policy import (ExhaustivePolicy, FifoPolicy, PCTPolicy,
+                     RecordingPolicy, ReplayPolicy, SchedulePolicy,
+                     SeededRandomPolicy, make_policy)
+from .harness import (SCENARIOS, MUTATIONS, Outcome, run_scenario, sweep)
+from .shrink import shrink_schedule
+
+__all__ = [
+    "Fault", "FaultInjected", "FaultPlan",
+    "InvariantChecker", "InvariantViolation",
+    "SchedulePolicy", "FifoPolicy", "SeededRandomPolicy", "PCTPolicy",
+    "ExhaustivePolicy", "RecordingPolicy", "ReplayPolicy", "make_policy",
+    "SCENARIOS", "MUTATIONS", "Outcome", "run_scenario", "sweep",
+    "shrink_schedule",
+]

@@ -1,0 +1,136 @@
+"""Invariant checking over observed executions.
+
+The :class:`InvariantChecker` installs a transition observer (see
+:mod:`repro.core.states`) for the duration of a run and audits:
+
+* **Legality** — every observed transition is an arc of
+  ``LEGAL_TRANSITIONS`` (the runtime itself enforces this with
+  :class:`~repro.core.errors.StateError`, so a violation recorded here
+  means the enforcement seam was bypassed);
+* **Exactly-once completion** — every task that was observed enters
+  ``COMPLETE`` exactly once by the end of the run;
+* **Serial elision** — under always-strict valves (thresholds at 1.0)
+  any schedule's final outputs must bit-match the serial precise run;
+  the scenario harness feeds both sides to :func:`check_equivalence`.
+
+Violations are collected, not raised, so a sweep can report all of them
+and still shrink the schedule afterwards.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core.states import (LEGAL_TRANSITIONS, TaskState,
+                           add_transition_observer,
+                           remove_transition_observer)
+
+
+class InvariantViolation:
+    """One detected invariant breach."""
+
+    def __init__(self, kind: str, task: str, detail: str):
+        self.kind = kind
+        self.task = task
+        self.detail = detail
+
+    def __repr__(self) -> str:
+        return f"InvariantViolation({self.kind}, {self.task}: {self.detail})"
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.task}: {self.detail}"
+
+
+class InvariantChecker:
+    """Context manager that audits every task transition in its scope."""
+
+    def __init__(self):
+        #: (task name, src, dst) in observation order.
+        self.transitions: List[Tuple[str, TaskState, TaskState]] = []
+        self.violations: List[InvariantViolation] = []
+        self._complete_counts: Dict[int, int] = {}
+        self._task_names: Dict[int, str] = {}
+        self._states: Dict[int, TaskState] = {}
+
+    # -------------------------------------------------------- observer
+
+    def __enter__(self) -> "InvariantChecker":
+        add_transition_observer(self._observe)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        remove_transition_observer(self._observe)
+
+    def _observe(self, task, src: TaskState, dst: TaskState) -> None:
+        self.transitions.append((task.name, src, dst))
+        self._task_names[id(task)] = task.name
+        self._states[id(task)] = dst
+        if dst not in LEGAL_TRANSITIONS[src]:
+            self.violations.append(InvariantViolation(
+                "illegal-transition", task.name, f"{src} -> {dst}"))
+        if dst is TaskState.COMPLETE:
+            count = self._complete_counts.get(id(task), 0) + 1
+            self._complete_counts[id(task)] = count
+            if count > 1:
+                self.violations.append(InvariantViolation(
+                    "multiple-completion", task.name,
+                    f"entered COMPLETE {count} times"))
+
+    # ------------------------------------------------------ final audit
+
+    def check_completion(self) -> List[InvariantViolation]:
+        """After a successful run: every observed task completed once."""
+        for task_id, name in self._task_names.items():
+            completions = self._complete_counts.get(task_id, 0)
+            if completions != 1:
+                self.violations.append(InvariantViolation(
+                    "incomplete-task" if completions == 0
+                    else "multiple-completion",
+                    name, f"entered COMPLETE {completions} times"))
+        return self.violations
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        if self.ok:
+            return (f"{len(self.transitions)} transitions over "
+                    f"{len(self._task_names)} tasks, all legal")
+        return "; ".join(str(v) for v in self.violations[:5])
+
+
+def check_equivalence(observed, expected) -> List[str]:
+    """Bit-match ``observed`` against ``expected`` outputs.
+
+    Handles numpy arrays, (nested) tuples/lists, and scalars; returns a
+    list of human-readable mismatch descriptions (empty = equivalent).
+    """
+    mismatches: List[str] = []
+    _compare(observed, expected, "output", mismatches)
+    return mismatches
+
+
+def _compare(observed, expected, path: str, mismatches: List[str]) -> None:
+    try:
+        import numpy as np
+    except ImportError:  # pragma: no cover - numpy is a hard dep here
+        np = None
+    if np is not None and (isinstance(observed, np.ndarray) or
+                           isinstance(expected, np.ndarray)):
+        same_shape = np.shape(observed) == np.shape(expected)
+        if not same_shape or not np.array_equal(
+                np.asarray(observed), np.asarray(expected)):
+            mismatches.append(f"{path}: arrays differ")
+        return
+    if isinstance(observed, (tuple, list)) and \
+            isinstance(expected, (tuple, list)):
+        if len(observed) != len(expected):
+            mismatches.append(
+                f"{path}: length {len(observed)} != {len(expected)}")
+            return
+        for index, (item_o, item_e) in enumerate(zip(observed, expected)):
+            _compare(item_o, item_e, f"{path}[{index}]", mismatches)
+        return
+    if observed != expected:
+        mismatches.append(f"{path}: {observed!r} != {expected!r}")

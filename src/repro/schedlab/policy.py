@@ -1,0 +1,287 @@
+"""Schedule policies: who wins every tie, and in what order signals land.
+
+A :class:`SchedulePolicy` is consulted at the runtime's nondeterminism
+points — event-queue ties, core allocation among ready tasks, guard
+signal fan-out order, worker dispatch — through two primitives:
+
+``choose(point, keys)``
+    Pick one of ``len(keys) >= 2`` simultaneous alternatives.  ``point``
+    names the decision site (``"event"``, ``"core"``, ``"signal"``,
+    ``"wake"``, ``"dispatch"``, ...); ``keys`` label the alternatives
+    (task or event names) so priority policies can be identity-aware.
+
+``jitter(point)``
+    Seconds of artificial pre-decision delay for the *real* backends,
+    where wake ordering cannot be dictated but can be perturbed (the
+    chaos-mode approach).  Always 0.0 for virtual-time exploration.
+
+``order(...)`` derives a full permutation from repeated ``choose`` calls
+so record/replay only ever has to capture one kind of decision.
+
+Determinism contract: given the same program, fault plan and policy
+decisions, the simulator's decision *sites* occur in the same sequence —
+so a recorded list of ``(point, n, choice)`` triples replays a run
+exactly.  Replay of real-backend runs is best-effort (thread timing is
+not controlled); deterministic replay artifacts always target ``sim``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.errors import SchedulerError
+
+#: One recorded decision: (decision point, arity, chosen index).
+Decision = Tuple[str, int, int]
+
+
+class SchedulePolicy:
+    """Base policy: FIFO everywhere (the runtime's historical order)."""
+
+    name = "fifo"
+
+    def begin_run(self) -> None:
+        """Reset per-run state; called once before each explored run."""
+
+    def choose(self, point: str, keys: Sequence) -> int:
+        """Pick among >= 2 simultaneous alternatives; 0 keeps FIFO."""
+        return 0
+
+    def order(self, point: str, keys: Sequence) -> List[int]:
+        """A permutation of ``range(len(keys))`` built from choose()."""
+        n = len(keys)
+        if n <= 1:
+            return list(range(n))
+        remaining = list(range(n))
+        out: List[int] = []
+        while len(remaining) > 1:
+            index = self.choose(point, [keys[i] for i in remaining])
+            out.append(remaining.pop(index))
+        out.append(remaining[0])
+        return out
+
+    def jitter(self, point: str) -> float:
+        """Artificial delay (seconds) before a real-backend wake point."""
+        return 0.0
+
+    def describe(self) -> Dict:
+        return {"policy": self.name}
+
+
+class FifoPolicy(SchedulePolicy):
+    """Explicit name for the default ordering."""
+
+
+class SeededRandomPolicy(SchedulePolicy):
+    """Uniform random tie-breaks from a seeded PRNG.
+
+    ``jitter_scale > 0`` additionally perturbs real-backend wake points
+    with uniform delays in ``[0, jitter_scale)`` seconds.
+    """
+
+    name = "random"
+
+    def __init__(self, seed: int = 0, jitter_scale: float = 0.0):
+        self.seed = seed
+        self.jitter_scale = jitter_scale
+        self._rng = random.Random(seed)
+
+    def begin_run(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def choose(self, point: str, keys: Sequence) -> int:
+        return self._rng.randrange(len(keys))
+
+    def jitter(self, point: str) -> float:
+        if self.jitter_scale <= 0.0:
+            return 0.0
+        return self._rng.random() * self.jitter_scale
+
+    def describe(self) -> Dict:
+        return {"policy": self.name, "seed": self.seed,
+                "jitter_scale": self.jitter_scale}
+
+
+class PCTPolicy(SchedulePolicy):
+    """PCT-style priority scheduling (Burckhardt et al., ASPLOS'10).
+
+    Every distinct key gets a random priority on first sight; each
+    decision picks the highest-priority alternative.  ``depth - 1``
+    priority-change points are scattered over the first
+    ``expected_length`` decisions: when one is crossed, the key just
+    scheduled is demoted below everything else.  This finds bugs that
+    need a specific task to be *starved*, which uniform random rarely
+    produces.
+    """
+
+    name = "pct"
+
+    def __init__(self, seed: int = 0, depth: int = 3,
+                 expected_length: int = 256):
+        if depth < 1:
+            raise SchedulerError("PCT depth must be >= 1")
+        self.seed = seed
+        self.depth = depth
+        self.expected_length = max(1, expected_length)
+        self.begin_run()
+
+    def begin_run(self) -> None:
+        self._rng = random.Random(self.seed)
+        self._priorities: Dict[str, float] = {}
+        self._decisions = 0
+        self._demotions = 0.0
+        self._change_points = set(
+            self._rng.sample(range(self.expected_length),
+                             k=min(self.depth - 1, self.expected_length)))
+
+    def _priority(self, key: str) -> float:
+        if key not in self._priorities:
+            self._priorities[key] = self._rng.random()
+        return self._priorities[key]
+
+    def choose(self, point: str, keys: Sequence) -> int:
+        labels = [str(key) for key in keys]
+        index = max(range(len(labels)),
+                    key=lambda i: (self._priority(labels[i]), -i))
+        if self._decisions in self._change_points:
+            # Demote the winner below every priority handed out so far.
+            self._demotions += 1.0
+            self._priorities[labels[index]] = -self._demotions
+            index = max(range(len(labels)),
+                        key=lambda i: (self._priority(labels[i]), -i))
+        self._decisions += 1
+        return index
+
+    def describe(self) -> Dict:
+        return {"policy": self.name, "seed": self.seed, "depth": self.depth}
+
+
+class ExhaustivePolicy(SchedulePolicy):
+    """DFS enumeration of every tie-break combination up to ``depth``.
+
+    Decisions beyond the first ``depth`` decision sites fall back to
+    FIFO, bounding the (otherwise exponential) schedule space.  Use::
+
+        policy = ExhaustivePolicy(depth=6)
+        while True:
+            policy.begin_run()
+            run_once(policy)
+            if not policy.advance():
+                break
+    """
+
+    name = "exhaustive"
+
+    def __init__(self, depth: int = 6):
+        if depth < 1:
+            raise SchedulerError("exhaustive depth must be >= 1")
+        self.depth = depth
+        #: DFS stack of [chosen index, arity seen at that site].
+        self._stack: List[List[int]] = []
+        self._position = 0
+        self.schedules_run = 0
+
+    def begin_run(self) -> None:
+        self._position = 0
+        self.schedules_run += 1
+
+    def choose(self, point: str, keys: Sequence) -> int:
+        position = self._position
+        self._position += 1
+        if position < len(self._stack):
+            self._stack[position][1] = len(keys)
+            return self._stack[position][0]
+        if position < self.depth:
+            self._stack.append([0, len(keys)])
+        return 0
+
+    def advance(self) -> bool:
+        """Move to the next unexplored prefix; False when exhausted."""
+        while self._stack:
+            self._stack[-1][0] += 1
+            if self._stack[-1][0] < self._stack[-1][1]:
+                return True
+            self._stack.pop()
+        return False
+
+    def describe(self) -> Dict:
+        return {"policy": self.name, "depth": self.depth}
+
+
+class RecordingPolicy(SchedulePolicy):
+    """Wraps another policy and records every decision it makes."""
+
+    name = "recording"
+
+    def __init__(self, inner: SchedulePolicy):
+        self.inner = inner
+        self.decisions: List[Decision] = []
+
+    def begin_run(self) -> None:
+        self.inner.begin_run()
+        self.decisions = []
+
+    def choose(self, point: str, keys: Sequence) -> int:
+        index = self.inner.choose(point, keys)
+        self.decisions.append((point, len(keys), index))
+        return index
+
+    def jitter(self, point: str) -> float:
+        return self.inner.jitter(point)
+
+    def describe(self) -> Dict:
+        description = dict(self.inner.describe())
+        description["recorded"] = len(self.decisions)
+        return description
+
+
+class ReplayPolicy(SchedulePolicy):
+    """Replays a recorded decision list; FIFO once it runs dry.
+
+    Replay is *tolerant*: a decision whose arity no longer matches (the
+    program changed under the schedule) clamps the recorded choice into
+    range instead of failing, so shrunk and hand-edited schedules stay
+    usable.  ``divergences`` counts how often that happened.
+    """
+
+    name = "replay"
+
+    def __init__(self, decisions: Sequence[Decision]):
+        self._decisions = [tuple(d) for d in decisions]
+        self.begin_run()
+
+    def begin_run(self) -> None:
+        self._cursor = 0
+        self.divergences = 0
+
+    def choose(self, point: str, keys: Sequence) -> int:
+        if self._cursor >= len(self._decisions):
+            return 0
+        recorded_point, recorded_n, choice = self._decisions[self._cursor]
+        self._cursor += 1
+        if recorded_point != point or recorded_n != len(keys):
+            self.divergences += 1
+        if choice >= len(keys):
+            self.divergences += 1
+            return 0
+        return choice
+
+    def describe(self) -> Dict:
+        return {"policy": self.name, "decisions": len(self._decisions)}
+
+
+def make_policy(name: str, seed: int = 0, depth: int = 3,
+                jitter_scale: float = 0.0) -> SchedulePolicy:
+    """Build a policy by CLI name."""
+    if name == "fifo":
+        return FifoPolicy()
+    if name == "random":
+        return SeededRandomPolicy(seed, jitter_scale=jitter_scale)
+    if name == "pct":
+        return PCTPolicy(seed, depth=depth)
+    if name == "exhaustive":
+        return ExhaustivePolicy(depth=depth)
+    raise SchedulerError(
+        f"unknown schedule policy {name!r}; "
+        "expected fifo, random, pct or exhaustive")

@@ -1,0 +1,78 @@
+"""Schedule shrinking: minimize a recorded decision list.
+
+A failing run's schedule is a list of ``(point, arity, choice)`` triples
+(see :mod:`~repro.schedlab.policy`).  Replay is positional and falls
+back to FIFO (choice 0) once the list runs dry, which gives two cheap,
+alignment-preserving reduction moves:
+
+* **truncate** — keep only a prefix; everything after it becomes FIFO;
+* **zero** — set one choice to 0 (the FIFO default) in place.
+
+Deleting interior entries is deliberately *not* attempted: it would
+shift every later decision onto a different site and garble the replay.
+The result is a schedule whose non-default choices are exactly the
+ordering constraints needed to reproduce the failure — typically one or
+two entries for a real ordering bug.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+from .policy import Decision
+
+
+def shrink_schedule(decisions: Sequence[Decision],
+                    still_fails: Callable[[Sequence[Decision]], bool],
+                    budget: int = 256) -> Tuple[List[Decision], int]:
+    """Greedy minimization of ``decisions`` preserving ``still_fails``.
+
+    ``still_fails(candidate)`` must deterministically re-run the program
+    under ``candidate`` and report whether the *same* failure recurs.
+    Returns ``(minimized, checks_used)``; the minimized list is always
+    verified failing (or is the untouched original, which the caller
+    already observed failing).  ``budget`` caps verification runs.
+    """
+    original = [tuple(decision) for decision in decisions]
+    checks = 0
+
+    def check(candidate: Sequence[Decision]) -> bool:
+        nonlocal checks
+        if checks >= budget:
+            return False
+        checks += 1
+        return still_fails(candidate)
+
+    # Phase 1: shortest failing prefix.  The search assumes prefix
+    # monotonicity (a longer prefix of a failing schedule still fails),
+    # which holds for single-cause ordering bugs; the final verify below
+    # protects against the schedules where it does not.
+    low, high = 0, len(original)
+    while low < high:
+        mid = (low + high) // 2
+        if check(original[:mid]):
+            high = mid
+        else:
+            low = mid + 1
+    candidate = original[:high]
+    if high < len(original) and not check(candidate):
+        candidate = original
+
+    # Phase 2: zero individual non-default choices, last site first
+    # (later decisions are the likeliest to be incidental).
+    result = list(candidate)
+    for index in range(len(result) - 1, -1, -1):
+        point, arity, choice = result[index]
+        if choice == 0:
+            continue
+        trial = list(result)
+        trial[index] = (point, arity, 0)
+        if check(trial):
+            result = trial
+
+    # Phase 3: trailing zeros are replay no-ops (a dry replay answers 0
+    # anyway) — drop them without spending verification runs.
+    while result and result[-1][2] == 0:
+        result.pop()
+
+    return result, checks

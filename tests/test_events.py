@@ -2,7 +2,9 @@
 
 import pytest
 
+from repro.core.errors import StateError
 from repro.runtime.events import EventQueue
+from repro.schedlab.policy import SeededRandomPolicy
 
 
 class TestEventQueue:
@@ -50,3 +52,41 @@ class TestEventQueue:
         while queue:
             queue.pop()[1]()
         assert seen == ["nested", "late"]
+
+    def test_pop_empty_raises_state_error(self):
+        with pytest.raises(StateError, match="empty EventQueue"):
+            EventQueue().pop()
+
+    def test_pop_empty_raises_state_error_after_drain(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None)
+        queue.pop()
+        with pytest.raises(StateError, match="no pending events"):
+            queue.pop()
+
+    def test_pop_empty_with_policy_raises_state_error(self):
+        queue = EventQueue(SeededRandomPolicy(0))
+        with pytest.raises(StateError, match="empty EventQueue"):
+            queue.pop()
+
+    def test_policy_breaks_ties_but_not_time_order(self):
+        queue = EventQueue(SeededRandomPolicy(1))
+        order = []
+        for label in "abcd":
+            queue.push(1.0, lambda label=label: order.append(label),
+                       key=label)
+        queue.push(0.5, lambda: order.append("first"), key="first")
+        while queue:
+            queue.pop()[1]()
+        assert order[0] == "first"
+        assert sorted(order[1:]) == list("abcd")
+
+    def test_no_policy_keeps_fifo_among_ties(self):
+        queue = EventQueue()
+        order = []
+        for label in "abcde":
+            queue.push(2.0, lambda label=label: order.append(label),
+                       key=label)
+        while queue:
+            queue.pop()[1]()
+        assert order == list("abcde")

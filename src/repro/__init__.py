@@ -51,6 +51,8 @@ from .runtime import (BACKENDS, Overheads, ProcessExecutor, RunResult,
                       SimExecutor, SimResult, ThreadExecutor, Trace,
                       make_executor, run_serial)
 from .runtime.gantt import TimelineRecorder
+from .telemetry import (ChromeTraceExporter, MetricsRegistry, Telemetry,
+                        TelemetryBus, TelemetryEvent)
 from .tuning import ThresholdTuner, TuningResult, ValveSelector
 
 __version__ = "1.0.0"
@@ -67,5 +69,7 @@ __all__ = [
     "BACKENDS", "Overheads", "ProcessExecutor", "RunResult", "SimExecutor",
     "SimResult", "ThreadExecutor", "Trace", "make_executor", "run_serial",
     "TimelineRecorder", "ThresholdTuner", "TuningResult", "ValveSelector",
+    "ChromeTraceExporter", "MetricsRegistry", "Telemetry", "TelemetryBus",
+    "TelemetryEvent",
     "__version__",
 ]

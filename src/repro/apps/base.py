@@ -113,7 +113,8 @@ class FluidApp:
                   modulation: Optional[ModulationPolicy] = None,
                   parallelism: int = 1,
                   trace: bool = False,
-                  backend: str = "sim") -> AppRun:
+                  backend: str = "sim",
+                  telemetry: Optional[Any] = None) -> AppRun:
         """Execute the fluidized app on the chosen backend.
 
         ``backend="sim"`` (the default) reports makespans in virtual
@@ -123,6 +124,10 @@ class FluidApp:
         app's regions to honour the process-backend contract (honest
         input/output declarations, no aliased payload buffers; see
         docs/runtime-semantics.md).
+
+        Pass a :class:`repro.telemetry.Telemetry` via ``telemetry=`` to
+        collect structured metrics and a Perfetto-loadable trace from
+        any backend (see docs/telemetry.md).
         """
         if threshold is None:
             threshold = self.default_threshold
@@ -140,11 +145,13 @@ class FluidApp:
                 overheads=(overheads if overheads is not None
                            else DEFAULT_OVERHEADS),
                 modulation=modulation, trace=trace,
-                cancel_first_runs=self.cancel_first_runs)
+                cancel_first_runs=self.cancel_first_runs,
+                telemetry=telemetry)
         else:
             executor = make_executor(
                 backend, modulation=modulation,
-                cancel_first_runs=self.cancel_first_runs)
+                cancel_first_runs=self.cancel_first_runs,
+                telemetry=telemetry)
         plan.submit_to(executor)
         result = executor.run()
         output = self.extract_output(plan)

@@ -21,13 +21,20 @@ from .harness import run_backend_bench, run_comparison, standard_suite
 from .reporting import render_series, render_table
 
 
-def run_figure6(only_app=None, quick=False) -> int:
+def run_figure6(only_app=None, quick=False, telemetry=None) -> int:
     rows = []
+    telemetry_used = False
     for app_name, inputs in standard_suite().items():
         if only_app and app_name != only_app:
             continue
         for input_name, factory in inputs.items():
-            row = run_comparison(factory(), input_name)
+            # Telemetry instruments the first fluid run only: one bus
+            # records one executor's clock, so artifacts stay coherent.
+            extra = {}
+            if telemetry is not None and not telemetry_used:
+                extra["telemetry"] = telemetry
+                telemetry_used = True
+            row = run_comparison(factory(), input_name, **extra)
             rows.append(row.as_list())
             print(f"  ran {app_name}/{input_name}: "
                   f"latency {row.normalized_latency:.3f}, "
@@ -71,10 +78,11 @@ def run_sweep(app_name: str, thresholds) -> int:
     return 0
 
 
-def run_backends(backend: str, workers, tasks, scale: float) -> int:
+def run_backends(backend: str, workers, tasks, scale: float,
+                 telemetry=None) -> int:
     """Figure-12 on real cores: time ``backend`` against the thread one."""
     row = run_backend_bench(backend=backend, workers=workers, tasks=tasks,
-                            scale=scale)
+                            scale=scale, telemetry=telemetry)
     print(render_table(
         f"Real-core backend comparison ({row.tasks} tasks x "
         f"{row.iterations} iterations, {row.workers} workers)",
@@ -115,18 +123,40 @@ def main(argv=None) -> int:
     parser.add_argument("--tasks", type=int, default=None,
                         help="fan-out width for the real-core backend "
                              "workload (default: max(2, workers))")
+    parser.add_argument("--trace-out", metavar="PATH",
+                        help="write a Chrome/Perfetto trace JSON of the "
+                             "first (or measured) fluid run")
+    parser.add_argument("--metrics-out", metavar="PATH",
+                        help="write a telemetry metrics JSON dump of the "
+                             "first (or measured) fluid run "
+                             "(inspect with python -m repro.telemetry)")
     args = parser.parse_args(argv)
+
+    telemetry = None
+    if args.trace_out or args.metrics_out:
+        from ..telemetry import Telemetry
+        telemetry = Telemetry()
 
     if args.sweep:
         thresholds = [float(token) for token in
                       args.thresholds.split(",") if token]
-        return run_sweep(args.sweep, thresholds)
-    if args.backend in ("thread", "process"):
+        status = run_sweep(args.sweep, thresholds)
+    elif args.backend in ("thread", "process"):
         scale = args.scale
         if scale is None:
             scale = 0.05 if args.quick else 1.0
-        return run_backends(args.backend, args.workers, args.tasks, scale)
-    return run_figure6(args.app, quick=args.quick)
+        status = run_backends(args.backend, args.workers, args.tasks, scale,
+                              telemetry=telemetry)
+    else:
+        status = run_figure6(args.app, quick=args.quick, telemetry=telemetry)
+    if telemetry is not None and status == 0:
+        telemetry.write(trace_out=args.trace_out,
+                        metrics_out=args.metrics_out)
+        for label, path in (("trace", args.trace_out),
+                            ("metrics", args.metrics_out)):
+            if path:
+                print(f"  wrote {label} to {path}", file=sys.stderr)
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -252,7 +252,8 @@ def run_backend_bench(backend: str = "process",
                       workers: Optional[int] = None,
                       tasks: Optional[int] = None,
                       scale: float = 1.0,
-                      chunks: int = 16) -> BackendBenchRow:
+                      chunks: int = 16,
+                      telemetry=None) -> BackendBenchRow:
     """Time a CPU-bound fan-out on ``backend`` against the thread backend.
 
     ``scale`` multiplies the per-task iteration count (tests pass a tiny
@@ -260,6 +261,9 @@ def run_backend_bench(backend: str = "process",
     Outputs of both timed runs are checked against the serially computed
     expected values.  ``backend`` must be a real-time backend ("thread"
     or "process"); the simulator has no wall clock to compare.
+
+    ``telemetry``, when given, instruments the *measured* backend run
+    only — the thread baseline stays uninstrumented.
     """
     if backend not in ("thread", "process"):
         raise ValueError(
@@ -271,12 +275,14 @@ def run_backend_bench(backend: str = "process",
     expected = [_lcg_kernel(7 + 13 * index, iterations)
                 for index in range(tasks)]
 
-    def timed(which: str):
+    def timed(which: str, telemetry=None):
         region = make_cpu_bound_region(tasks=tasks, iterations=iterations,
                                        chunks=chunks)
         kwargs = {"timeout": 600.0}
         if which == "process":
             kwargs["workers"] = workers
+        if telemetry is not None:
+            kwargs["telemetry"] = telemetry
         executor = make_executor(which, **kwargs)
         executor.submit(region)
         start = time.perf_counter()
@@ -286,7 +292,7 @@ def run_backend_bench(backend: str = "process",
         return elapsed, outputs
 
     thread_seconds, thread_outputs = timed("thread")
-    backend_seconds, backend_outputs = timed(backend)
+    backend_seconds, backend_outputs = timed(backend, telemetry=telemetry)
     return BackendBenchRow(
         backend=backend, workers=workers, tasks=tasks, iterations=iterations,
         thread_seconds=thread_seconds, backend_seconds=backend_seconds,

@@ -361,6 +361,34 @@ def import_payload(handle: PayloadHandle) -> Any:
     return handle.load()
 
 
+def payload_nbytes(handle: PayloadHandle) -> int:
+    """Approximate transport size of a payload handle, in bytes.
+
+    Used by process-backend telemetry to account shared-payload traffic
+    without materializing the payload (materializing would unlink a
+    shared-memory segment).
+    """
+    import sys
+
+    if isinstance(handle, SharedArrayPayload):
+        cells = 1
+        for extent in handle.shape:
+            cells *= extent
+        np = _numpy()
+        if np is not None:
+            return cells * np.dtype(handle.dtype_str).itemsize
+        return cells
+    if isinstance(handle, InlinePayload):
+        value = handle.value
+        nbytes = getattr(value, "nbytes", None)
+        if isinstance(nbytes, int):
+            return nbytes
+        if isinstance(value, (bytes, bytearray, memoryview)):
+            return len(value)
+        return sys.getsizeof(value)
+    return 0
+
+
 def _disown_shared_memory(segment) -> None:
     """Stop this process's resource tracker from reclaiming ``segment``.
 

@@ -107,11 +107,15 @@ class Coordinator:
                  modulation: Optional[ModulationPolicy] = None,
                  trace: Optional[Callable[[str, FluidTask, str], None]] = None,
                  cancel_first_runs: bool = False,
-                 policy: Optional[object] = None):
+                 policy: Optional[object] = None,
+                 telemetry: Optional[object] = None):
         self.host = host
         self.graph = graph
         self.modulation = modulation or ModulationPolicy(0.0)
         self._trace = trace
+        #: A repro.telemetry.TelemetryBus; guard decisions publish into
+        #: it as kind="guard" events when set.
+        self.telemetry = telemetry
         #: SchedLab schedule policy: when set, the fan-out order of
         #: update signals, child requests and completion cascades is
         #: chosen by the policy instead of graph declaration order.
@@ -320,3 +324,7 @@ class Coordinator:
     def _emit(self, event: str, task: FluidTask, detail: str) -> None:
         if self._trace is not None:
             self._trace(event, task, detail)
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                "guard", getattr(task.region, "name", ""), task.name, event,
+                ts=self.host.now(), data={"detail": detail})

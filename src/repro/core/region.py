@@ -59,6 +59,10 @@ class FluidRegion:
         # flakiness, delays) into this region's tasks; None in normal
         # operation.  See repro.schedlab.faults.FaultPlan.
         self.fault_plan = None
+        # Set by an executor when telemetry is enabled: a
+        # repro.telemetry.TelemetryBus that task transitions and valve
+        # evaluations publish into; None means no instrumentation.
+        self.telemetry = None
         self._bound_sink: Optional[UpdateSink] = None
 
     # -- declaration API ---------------------------------------------------

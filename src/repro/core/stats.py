@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from .errors import StateError
 from .states import TaskState
 
 #: Column order used by Table 3 in the paper.
@@ -37,9 +38,14 @@ class TaskStats:
         self.quality_failures = 0
         self._state: Optional[TaskState] = None
         self._entered_at = 0.0
+        self._finished = False
 
     def enter(self, state: TaskState, now: float) -> None:
         """Record a transition into ``state`` at time ``now``."""
+        if self._finished:
+            raise StateError(
+                f"task {self.task_name!r}: enter({state.name}) after "
+                f"finish() — the stats are closed")
         if self._state is not None:
             self.time[self._state] += now - self._entered_at
         self.visits[state] += 1
@@ -47,7 +53,15 @@ class TaskStats:
         self._entered_at = now
 
     def finish(self, now: float) -> None:
-        """Close the books at the end of the run (task is terminal)."""
+        """Close the books at the end of the run (task is terminal).
+
+        Idempotent: only the first call adds the tail residence — a
+        repeated ``finish()`` used to re-add it and silently inflate the
+        Table 3 residence times.
+        """
+        if self._finished:
+            return
+        self._finished = True
         if self._state is not None:
             self.time[self._state] += now - self._entered_at
             self._entered_at = now

@@ -22,6 +22,7 @@ they are cooperative cancellation points.  A body receives a
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict, Generator, Sequence
 
 from .data import DataSnapshot, FluidData
@@ -140,6 +141,12 @@ class FluidTask:
         old_state = self.state
         self.state = new_state
         self.stats.enter(new_state, now)
+        telemetry = getattr(self.region, "telemetry", None)
+        if telemetry is not None:
+            telemetry.emit(
+                "transition", getattr(self.region, "name", ""), self.name,
+                new_state.name, ts=now,
+                data={"src": old_state.name, "run": self.run_index})
         if TRANSITION_OBSERVERS:
             notify_transition(self, old_state, new_state)
 
@@ -180,16 +187,38 @@ class FluidTask:
                    for data in self.spec.inputs)
 
     def end_valves_satisfied(self) -> bool:
-        forced = self._valve_fault("end")
-        if forced is not None:
-            return forced
-        return all(valve.check() for valve in self.spec.end_valves)
+        return self._check_valves("end", self.spec.end_valves)
 
     def start_valves_satisfied(self) -> bool:
-        forced = self._valve_fault("start")
+        return self._check_valves("start", self.spec.start_valves)
+
+    def _check_valves(self, which: str, valves: Sequence[Valve]) -> bool:
+        """Evaluate one valve set, publishing verdict + latency telemetry.
+
+        Empty valve sets pass vacuously and are not counted as
+        evaluations; SchedLab fault overrides are counted (with zero
+        latency and a ``forced`` flag) so metric parity holds under
+        fault injection.
+        """
+        telemetry = getattr(self.region, "telemetry", None)
+        forced = self._valve_fault(which)
         if forced is not None:
+            if telemetry is not None and valves:
+                telemetry.emit(
+                    "valve", getattr(self.region, "name", ""), self.name,
+                    which, data={"result": forced, "latency": 0.0,
+                                 "valves": len(valves), "forced": True})
             return forced
-        return all(valve.check() for valve in self.spec.start_valves)
+        if telemetry is None or not valves:
+            return all(valve.check() for valve in valves)
+        started = time.perf_counter()
+        result = all(valve.check() for valve in valves)
+        telemetry.emit(
+            "valve", getattr(self.region, "name", ""), self.name, which,
+            data={"result": result,
+                  "latency": time.perf_counter() - started,
+                  "valves": len(valves)})
+        return result
 
     def _valve_fault(self, which: str) -> "bool | None":
         """SchedLab valve flakiness: a fault plan may transiently force

@@ -41,6 +41,13 @@ class TimelineRecorder:
         recorder.attach(region)
         executor.submit(region); executor.run()
         print(recorder.render(width=80))
+
+    Alternatively, with telemetry enabled, subscribe to the bus instead
+    of monkey-patching task transitions::
+
+        telemetry = Telemetry()
+        recorder = TimelineRecorder().connect(telemetry.bus)
+        run_fluid(..., telemetry=telemetry)
     """
 
     def __init__(self):
@@ -54,6 +61,24 @@ class TimelineRecorder:
             self._tasks.append((label, task))
             self._events[label] = []
             self._hook(task, label)
+
+    def connect(self, bus) -> "TimelineRecorder":
+        """Feed the recorder from a telemetry bus's ``transition`` events.
+
+        Rows appear lazily, in first-transition order, labelled
+        ``region/task`` exactly as :meth:`attach` labels them.
+        """
+        bus.subscribe(self._on_event)
+        return self
+
+    def _on_event(self, event) -> None:
+        if event.kind != "transition":
+            return
+        label = f"{event.region}/{event.task}"
+        if label not in self._events:
+            self._tasks.append((label, None))
+            self._events[label] = []
+        self._events[label].append((event.ts, TaskState[event.name]))
 
     def _hook(self, task: FluidTask, label: str) -> None:
         original = task.transition

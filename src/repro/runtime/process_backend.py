@@ -51,6 +51,7 @@ Requirements and limits (see docs/runtime-semantics.md for the matrix):
 
 from __future__ import annotations
 
+import logging
 import os
 import queue as queue_module
 import time
@@ -58,7 +59,7 @@ import traceback
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from ..core.count import RecordingSink
-from ..core.data import import_payload
+from ..core.data import import_payload, payload_nbytes
 from ..core.errors import SchedulerError, TaskBodyError
 from ..core.guard import Coordinator, GuardHost, ModulationPolicy
 from ..core.region import FluidRegion
@@ -68,6 +69,8 @@ from .executor import Executor, RunResult
 
 #: Worker -> parent message kinds.
 _PROGRESS, _FINISHED, _CANCELLED, _ERROR = "progress", "finished", "cancelled", "error"
+
+logger = logging.getLogger(__name__)
 
 
 class _RegionRun:
@@ -106,11 +109,18 @@ class ProcessExecutor(Executor, GuardHost):
                  timeout: float = 60.0,
                  cancel_first_runs: bool = False,
                  flush_interval: float = 0.01,
-                 policy: Optional[object] = None):
+                 policy: Optional[object] = None,
+                 telemetry: Optional[object] = None):
         if workers is not None and workers < 1:
             raise SchedulerError("need at least one worker process")
         self.workers = workers or (os.cpu_count() or 1)
         self.modulation = modulation
+        #: Optional repro.telemetry.Telemetry; every publish point is in
+        #: the parent control loop, which is single-threaded, so the bus
+        #: serialization contract holds.  Workers fork before any region
+        #: launches and never see the bus.
+        self.telemetry = telemetry
+        self._bus = telemetry.bus if telemetry is not None else None
         self.cancel_first_runs = cancel_first_runs
         self.poll_interval = poll_interval
         self.timeout = timeout
@@ -151,6 +161,8 @@ class ProcessExecutor(Executor, GuardHost):
             return RunResult(0.0, [])
         self._start_pool()
         self._epoch = time.perf_counter()
+        if self.telemetry is not None:
+            self.telemetry.bind_clock(self.now, 1e6)
         deadline = self._epoch + self.timeout
         try:
             while True:
@@ -169,6 +181,9 @@ class ProcessExecutor(Executor, GuardHost):
                         + self._diagnose())
         finally:
             self._shutdown()
+            if self.telemetry is not None:
+                self.telemetry.run_finished(self.now(), self.workers,
+                                            now=self.now())
         makespan = time.perf_counter() - self._epoch
         return RunResult(makespan, [run.region for run in self._runs])
 
@@ -193,6 +208,11 @@ class ProcessExecutor(Executor, GuardHost):
             run.region.stats.makespan = self.now() - run.launch_time
             for sibling in run.region.tasks:
                 sibling.stats.finish(self.now())
+            if self._bus is not None:
+                self._bus.emit(
+                    "sched", run.region.name, "", "region-done",
+                    data={"detail":
+                          f"makespan={run.region.stats.makespan:.3f}"})
 
     def task_failed(self, task: FluidTask, error: Exception) -> None:
         if self._error is None:
@@ -236,8 +256,10 @@ class ProcessExecutor(Executor, GuardHost):
         for inbox in self._inboxes:
             try:
                 inbox.put_nowait(None)
+            except (ValueError, OSError, queue_module.Full):
+                pass  # queue already closed/broken or worker gone
             except Exception:
-                pass
+                logger.exception("unexpected error sending worker shutdown")
         for process in self._processes:
             process.join(timeout=0.5)
         for process in self._processes:
@@ -252,8 +274,10 @@ class ProcessExecutor(Executor, GuardHost):
             try:
                 channel.cancel_join_thread()
                 channel.close()
+            except (ValueError, OSError):
+                pass  # already closed
             except Exception:
-                pass
+                logger.exception("unexpected error closing worker queue")
 
     def _discard_pending_events(self) -> None:
         """Drop unapplied events, releasing any shared-memory payloads."""
@@ -298,10 +322,14 @@ class ProcessExecutor(Executor, GuardHost):
     def _launch_region(self, run: _RegionRun) -> None:
         region = run.region
         graph = region.finalize()
+        region.telemetry = self._bus
         run.launch_time = self.now()
         run.coordinator = Coordinator(self, graph, modulation=self.modulation,
                                       cancel_first_runs=self.cancel_first_runs,
-                                      policy=self.policy)
+                                      policy=self.policy, telemetry=self._bus)
+        if self._bus is not None:
+            self._bus.emit("sched", region.name, "", "launch",
+                           data={"detail": f"{len(graph)} tasks"})
         for task_index, task in enumerate(region.tasks):
             self._task_run[id(task)] = run
             self._task_index[id(task)] = (run.index, task_index)
@@ -367,6 +395,16 @@ class ProcessExecutor(Executor, GuardHost):
                   for name, count in region.counts.items()}
         self._inboxes[slot].put(
             ("run", region_index, task_index, task.run_index, payloads, counts))
+        if self._bus is not None:
+            self._bus.emit("sched", region.name, task.name, "run",
+                           data={"detail": f"attempt={task.run_index}"})
+            self._bus.emit("worker", region.name, task.name, "dispatch",
+                           data={"slot": slot})
+            self._bus.emit(
+                "payload", region.name, task.name, "to-worker",
+                data={"bytes": sum(payload_nbytes(handle)
+                                   for handle in payloads.values()),
+                      "cells": len(payloads)})
         self._maybe_kill_worker(region, task, slot)
 
     def _maybe_kill_worker(self, region: FluidRegion, task: FluidTask,
@@ -403,6 +441,16 @@ class ProcessExecutor(Executor, GuardHost):
         kind, slot, region_index, task_index = message[:4]
         run = self._runs[region_index]
         task = run.region.tasks[task_index]
+        if self._bus is not None:
+            if kind in (_PROGRESS, _FINISHED) and message[5]:
+                self._bus.emit(
+                    "payload", run.region.name, task.name, "from-worker",
+                    data={"bytes": sum(payload_nbytes(handle)
+                                       for handle in message[5].values()),
+                          "cells": len(message[5])})
+            if kind in (_FINISHED, _CANCELLED, _ERROR):
+                self._bus.emit("worker", run.region.name, task.name, "free",
+                               data={"slot": slot})
         if kind == _PROGRESS:
             if task.state is TaskState.COMPLETE:
                 # Completed by a cascade while the body was still

@@ -121,7 +121,8 @@ class SimExecutor(Executor, GuardHost):
                  max_active_regions: Optional[int] = None,
                  cancel_first_runs: bool = False,
                  trace: bool = False,
-                 policy: Optional[Any] = None):
+                 policy: Optional[Any] = None,
+                 telemetry: Optional[Any] = None):
         if cores < 1:
             raise SchedulerError("need at least one core")
         self.cores = cores
@@ -129,7 +130,16 @@ class SimExecutor(Executor, GuardHost):
         self.cancel_first_runs = cancel_first_runs
         self.modulation = modulation
         self.max_active_regions = max_active_regions or cores
-        self.trace = Trace() if trace else None
+        # Instrumentation: an explicit Telemetry wins; plain trace=True
+        # gets a lightweight one (trace only) so Trace keeps working as
+        # before through the same bus plumbing.
+        if telemetry is None and trace:
+            from ..telemetry import Telemetry
+            telemetry = Telemetry(metrics=False, chrome=False)
+        self.telemetry = telemetry
+        self._bus = telemetry.bus if telemetry is not None else None
+        self.trace: Optional[Trace] = (
+            telemetry.trace if telemetry is not None else None)
         #: SchedLab schedule policy: tie-breaks among simultaneous
         #: events, core allocation among ready tasks, and watcher wake
         #: order.  None keeps the historical deterministic FIFO order.
@@ -163,11 +173,19 @@ class SimExecutor(Executor, GuardHost):
         if self._started:
             raise SchedulerError("executors are single-shot; build a new one")
         self._started = True
-        self._try_admissions()
-        while self._queue:
-            time, callback = self._queue.pop()
-            self._now = time
-            callback()
+        if self.telemetry is not None:
+            # One virtual cost unit renders as one Perfetto microsecond.
+            self.telemetry.bind_clock(lambda: self._now, 1.0)
+        try:
+            self._try_admissions()
+            while self._queue:
+                time, callback = self._queue.pop()
+                self._now = time
+                callback()
+        finally:
+            if self.telemetry is not None:
+                self.telemetry.run_finished(self._now, self.cores,
+                                            now=self._now)
         incomplete = [run.region.name for run in self._runs if not run.done]
         if incomplete:
             raise SchedulerError(
@@ -237,12 +255,12 @@ class SimExecutor(Executor, GuardHost):
         graph = region.finalize()
         region.bind_sink(self._sink)
         region.dynamic_host = self
+        region.telemetry = self._bus
         run.launch_time = self._now
         run.coordinator = Coordinator(
             self, graph, modulation=self.modulation,
-            trace=self._make_trace(region),
             cancel_first_runs=self.cancel_first_runs,
-            policy=self.policy)
+            policy=self.policy, telemetry=self._bus)
         for task in graph:
             self._task_region[id(task)] = run
             task.stats.enter(TaskState.INIT, self._now)
@@ -442,15 +460,10 @@ class SimExecutor(Executor, GuardHost):
 
     # ------------------------------------------------------------ trace
 
-    def _make_trace(self, region: FluidRegion):
-        if self.trace is None:
-            return None
-        return lambda event, task, detail: self.trace.record(
-            self._now, region.name, task.name, event, detail)
-
     def _record(self, event: str, region: str, task: str, detail: str) -> None:
-        if self.trace is not None:
-            self.trace.record(self._now, region, task, event, detail)
+        if self._bus is not None:
+            self._bus.emit("sched", region, task, event, ts=self._now,
+                           data={"detail": detail})
 
     # ------------------------------------------------------------ debug
 

@@ -48,8 +48,14 @@ class ThreadExecutor(Executor, GuardHost):
                  poll_interval: float = 0.002,
                  timeout: float = 60.0,
                  cancel_first_runs: bool = False,
-                 policy: Optional[object] = None):
+                 policy: Optional[object] = None,
+                 telemetry: Optional[object] = None):
         self.modulation = modulation
+        #: Optional repro.telemetry.Telemetry; all publish points run
+        #: under the executor lock, satisfying the bus serialization
+        #: contract.
+        self.telemetry = telemetry
+        self._bus = telemetry.bus if telemetry is not None else None
         self.cancel_first_runs = cancel_first_runs
         self.poll_interval = poll_interval
         self.timeout = timeout
@@ -82,29 +88,37 @@ class ThreadExecutor(Executor, GuardHost):
             raise SchedulerError("executors are single-shot; build a new one")
         self._started = True
         self._epoch = time.perf_counter()
+        if self.telemetry is not None:
+            self.telemetry.bind_clock(self.now, 1e6)
         deadline = self._epoch + self.timeout
         sink = _NotifyingSink(self)
         launched: set = set()
-        while True:
-            with self._lock:
-                for region, after in self._submissions:
-                    if id(region) in launched:
-                        continue
-                    if any(id(dep) not in self._done_regions for dep in after):
-                        continue
-                    launched.add(id(region))
-                    self._launch_region(region, sink)
-                if self._body_error is not None:
-                    raise self._body_error
-                if len(self._done_regions) == len(self._submissions):
-                    break
-                self._condition.wait(self.poll_interval * 10)
-            if time.perf_counter() > deadline:
-                raise SchedulerError(
-                    f"thread backend timed out after {self.timeout}s: "
-                    + self._diagnose())
-        for thread in self._threads:
-            thread.join(self.timeout)
+        try:
+            while True:
+                with self._lock:
+                    for region, after in self._submissions:
+                        if id(region) in launched:
+                            continue
+                        if any(id(dep) not in self._done_regions
+                               for dep in after):
+                            continue
+                        launched.add(id(region))
+                        self._launch_region(region, sink)
+                    if self._body_error is not None:
+                        raise self._body_error
+                    if len(self._done_regions) == len(self._submissions):
+                        break
+                    self._condition.wait(self.poll_interval * 10)
+                if time.perf_counter() > deadline:
+                    raise SchedulerError(
+                        f"thread backend timed out after {self.timeout}s: "
+                        + self._diagnose())
+            for thread in self._threads:
+                thread.join(self.timeout)
+        finally:
+            if self.telemetry is not None:
+                # One worker: the GIL serializes the actual computation.
+                self.telemetry.run_finished(self.now(), 1, now=self.now())
         makespan = time.perf_counter() - self._epoch
         regions = [region for region, _after in self._submissions]
         return RunResult(makespan, regions)
@@ -124,6 +138,10 @@ class ThreadExecutor(Executor, GuardHost):
             region.stats.makespan = self.now()
             for sibling in region.tasks:
                 sibling.stats.finish(self.now())
+            if self._bus is not None:
+                self._bus.emit(
+                    "sched", region.name, "", "region-done",
+                    data={"detail": f"makespan={region.stats.makespan:.3f}"})
         self._condition.notify_all()
 
     def admit_dynamic_task(self, region: FluidRegion,
@@ -136,6 +154,9 @@ class ThreadExecutor(Executor, GuardHost):
         with self._lock:
             task.stats.enter(TaskState.INIT, self.now())
             self._run_events[id(task)] = threading.Event()
+            if self._bus is not None:
+                self._bus.emit("sched", region.name, task.name, "spawn",
+                               data={"detail": "dynamic"})
         thread = threading.Thread(
             target=self._guard_main, args=(task, coordinator),
             name=f"guard-{region.name}-{task.name}", daemon=True)
@@ -146,10 +167,14 @@ class ThreadExecutor(Executor, GuardHost):
         graph = region.finalize()
         region.bind_sink(sink)
         region.dynamic_host = self
+        region.telemetry = self._bus
         coordinator = Coordinator(self, graph, modulation=self.modulation,
                                   cancel_first_runs=self.cancel_first_runs,
-                                  policy=self.policy)
+                                  policy=self.policy, telemetry=self._bus)
         self._coordinators[id(region)] = coordinator
+        if self._bus is not None:
+            self._bus.emit("sched", region.name, "", "launch",
+                           data={"detail": f"{len(graph)} tasks"})
         for task in graph:
             task.stats.enter(TaskState.INIT, self.now())
             self._run_events[id(task)] = threading.Event()
@@ -200,6 +225,10 @@ class ThreadExecutor(Executor, GuardHost):
                 else:  # pragma: no cover - defensive
                     self._condition.wait(self.poll_interval)
                     continue
+                if self._bus is not None:
+                    self._bus.emit(
+                        "sched", task.region.name, task.name, "run",
+                        data={"detail": f"attempt={task.run_index}"})
                 ctx = task.begin_run()
                 generator = task.make_generator(ctx)
             cancelled = self._consume(task, generator)

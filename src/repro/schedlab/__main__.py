@@ -106,6 +106,12 @@ def _build_parser() -> argparse.ArgumentParser:
     replay_cmd.add_argument("artifact", help="path to a sweep artifact JSON")
     replay_cmd.add_argument("--trace", action="store_true",
                             help="print the replayed execution trace")
+    replay_cmd.add_argument("--trace-out", metavar="PATH",
+                            help="write a Chrome/Perfetto trace JSON of "
+                                 "the replayed schedule")
+    replay_cmd.add_argument("--metrics-out", metavar="PATH",
+                            help="write a telemetry metrics JSON dump of "
+                                 "the replayed schedule")
 
     commands.add_parser("list", help="show scenarios, policies, mutations")
     return parser
@@ -132,12 +138,24 @@ def _cmd_sweep(options) -> int:
 
 def _cmd_replay(options) -> int:
     artifact = load_artifact(options.artifact)
-    outcome = replay_artifact(artifact, trace=options.trace)
+    telemetry = None
+    if options.trace_out or options.metrics_out:
+        from ..telemetry import Telemetry
+        telemetry = Telemetry()
+    outcome = replay_artifact(artifact, trace=options.trace,
+                              telemetry=telemetry)
     print(outcome.describe())
     if outcome.message:
         print(f"  {outcome.message[:200]}")
     if options.trace and outcome.trace is not None:
         print(outcome.trace.render())
+    if telemetry is not None:
+        telemetry.write(trace_out=options.trace_out,
+                        metrics_out=options.metrics_out)
+        for label, path in (("trace", options.trace_out),
+                            ("metrics", options.metrics_out)):
+            if path:
+                print(f"wrote {label} to {path}")
     expected = artifact.get("failure")
     if outcome.failure == expected:
         print(f"reproduced: {expected or 'clean run'}")

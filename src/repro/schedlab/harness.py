@@ -158,21 +158,23 @@ def _normalize_faults(faults) -> List[dict]:
 
 
 def _build_executor(backend: str, policy: SchedulePolicy, *, cores: int,
-                    timeout: float, workers: int, trace: bool):
+                    timeout: float, workers: int, trace: bool,
+                    telemetry=None):
     if backend == "sim":
         from ..runtime.simulator import Overheads, SimExecutor
 
         return SimExecutor(cores=cores, overheads=Overheads.zero(),
-                           policy=policy, trace=trace)
+                           policy=policy, trace=trace, telemetry=telemetry)
     if backend == "thread":
         from ..runtime.thread_backend import ThreadExecutor
 
-        return ThreadExecutor(policy=policy, timeout=timeout)
+        return ThreadExecutor(policy=policy, timeout=timeout,
+                              telemetry=telemetry)
     if backend == "process":
         from ..runtime.process_backend import ProcessExecutor
 
         return ProcessExecutor(workers=workers, policy=policy,
-                               timeout=timeout)
+                               timeout=timeout, telemetry=telemetry)
     raise SchedulerError(
         f"unknown backend {backend!r}; expected sim, thread or process")
 
@@ -187,11 +189,15 @@ def run_scenario(scenario_name: str, *,
                  trace: bool = False,
                  cores: int = 4,
                  timeout: float = 15.0,
-                 workers: int = 2) -> Outcome:
+                 workers: int = 2,
+                 telemetry=None) -> Outcome:
     """Execute one scenario under full SchedLab control.
 
     Every fault plan is rebuilt fresh from its serialized form, so a
     run never observes another run's consumed fault budgets.
+
+    ``telemetry`` (a :class:`repro.telemetry.Telemetry`) instruments the
+    run with structured metrics and a Perfetto-exportable trace.
     """
     try:
         scenario = SCENARIOS[scenario_name]
@@ -226,7 +232,7 @@ def run_scenario(scenario_name: str, *,
         try:
             executor = _build_executor(backend, recorder, cores=cores,
                                        timeout=timeout, workers=workers,
-                                       trace=trace)
+                                       trace=trace, telemetry=telemetry)
             run.submit(executor)
             result = executor.run()
             outcome.makespan = result.makespan
@@ -287,7 +293,7 @@ def load_artifact(path: str) -> Dict:
 
 
 def replay_artifact(artifact, *, trace: bool = False,
-                    cores: int = 4) -> Outcome:
+                    cores: int = 4, telemetry=None) -> Outcome:
     """Re-run a serialized failing schedule on the simulator.
 
     Replay always targets ``sim`` regardless of the backend that found
@@ -303,7 +309,7 @@ def replay_artifact(artifact, *, trace: bool = False,
         faults=artifact.get("faults") or None,
         strict=bool(artifact.get("strict")),
         mutation=artifact.get("mutation"),
-        trace=trace, cores=cores)
+        trace=trace, cores=cores, telemetry=telemetry)
 
 
 # -------------------------------------------------------------------- sweep

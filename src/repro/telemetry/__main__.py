@@ -1,0 +1,60 @@
+"""CLI over telemetry metrics dumps: summarize one, or diff two.
+
+Usage::
+
+    python -m repro.telemetry summarize run.metrics.json
+    python -m repro.telemetry diff baseline.json candidate.json
+    python -m repro.telemetry diff a.json b.json --changed-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from .metrics import load_metrics, render_diff, render_summary
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description="Inspect telemetry metrics dumps "
+                    "(written via --metrics-out or Telemetry.write).")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    summarize = commands.add_parser(
+        "summarize", help="print the counters/gauges/histograms of a dump")
+    summarize.add_argument("dump", help="metrics JSON produced by the runtime")
+
+    diff = commands.add_parser(
+        "diff", help="compare two dumps key-by-key")
+    diff.add_argument("a", help="baseline metrics JSON")
+    diff.add_argument("b", help="candidate metrics JSON")
+    diff.add_argument("--changed-only", action="store_true",
+                      help="only print keys whose values differ")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "summarize":
+            dump = load_metrics(args.dump)
+            print(render_summary(dump, title=os.path.basename(args.dump)))
+        else:
+            left = load_metrics(args.a)
+            right = load_metrics(args.b)
+            print(render_diff(left, right,
+                              a_name=os.path.basename(args.a),
+                              b_name=os.path.basename(args.b),
+                              changed_only=args.changed_only))
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

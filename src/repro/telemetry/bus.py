@@ -1,0 +1,114 @@
+"""The telemetry event bus: one structured stream for every backend.
+
+All runtime instrumentation converges here.  Executors, the guard
+:class:`~repro.core.guard.Coordinator` and :class:`~repro.core.task.FluidTask`
+publish :class:`TelemetryEvent` records into a :class:`TelemetryBus`;
+subscribers — the legacy :class:`~repro.runtime.tracing.Trace`, the
+:class:`~repro.telemetry.metrics.MetricsRegistry`, the Chrome trace
+exporter, a :class:`~repro.runtime.gantt.TimelineRecorder` — consume the
+same stream, so the simulator, thread and process backends feed exactly
+the same instrumentation pipeline.
+
+Event kinds
+-----------
+
+``transition``
+    A Figure-5 state-machine transition.  ``name`` is the destination
+    state; ``data`` carries ``src`` (source state) and ``run`` (the
+    task's run index at transition time).
+``guard``
+    A Coordinator decision: ``rerun``, ``wait``, ``complete``,
+    ``dep-stalled``, ``failed``; ``data["detail"]`` carries the reason.
+``sched``
+    A backend scheduling event: ``launch``, ``run``, ``spawn``,
+    ``region-done``; ``data["detail"]`` carries free-form detail.
+``valve``
+    One evaluation of a task's start or end valve set.  ``name`` is
+    ``start`` or ``end``; ``data`` carries ``result`` (bool),
+    ``latency`` (wall seconds spent evaluating) and ``valves`` (set
+    size).
+``payload``
+    Process-backend payload traffic.  ``name`` is ``to-worker`` or
+    ``from-worker``; ``data`` carries ``bytes`` and ``cells``.
+``worker``
+    Process-backend pool occupancy: ``dispatch``/``free`` with
+    ``data["slot"]``.
+
+Timestamps are in the publishing executor's clock: virtual cost units
+under the simulator, seconds since the run epoch under the thread and
+process backends.  :meth:`TelemetryBus.bind_clock` records which, so
+exporters can scale uniformly.
+
+Thread-safety: publishers must be serialized (the simulator is
+single-threaded, the thread backend publishes under its executor lock,
+the process backend publishes from the parent control loop only), so the
+bus itself takes no locks.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, NamedTuple, Optional
+
+
+class TelemetryEvent(NamedTuple):
+    """One structured record on the bus."""
+
+    ts: float
+    kind: str
+    region: str
+    task: str
+    name: str
+    data: Dict[str, Any]
+
+
+class TelemetryBus:
+    """Synchronous publish/subscribe fan-out of telemetry events."""
+
+    def __init__(self):
+        self._subscribers: List[Callable[[TelemetryEvent], None]] = []
+        #: The publishing executor's clock (rebound via :meth:`bind_clock`).
+        self.clock: Callable[[], float] = time.perf_counter
+        #: Multiplier that converts bus timestamps to microseconds for
+        #: the Chrome trace exporter: 1.0 for virtual time (one cost
+        #: unit renders as one microsecond), 1e6 for wall-clock seconds.
+        self.time_scale: float = 1e6
+        #: Count of events published so far (cheap health indicator).
+        self.published = 0
+
+    # -- wiring ----------------------------------------------------------
+
+    def subscribe(self, callback: Callable[[TelemetryEvent], None]) -> None:
+        """Register ``callback(event)`` for every published event."""
+        if callback not in self._subscribers:
+            self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[TelemetryEvent], None]) -> None:
+        try:
+            self._subscribers.remove(callback)
+        except ValueError:
+            pass
+
+    def bind_clock(self, clock: Callable[[], float],
+                   time_scale: float) -> None:
+        """Adopt the executor's clock (called once, at run start)."""
+        self.clock = clock
+        self.time_scale = time_scale
+
+    # -- publishing ------------------------------------------------------
+
+    def publish(self, event: TelemetryEvent) -> None:
+        self.published += 1
+        for callback in self._subscribers:
+            callback(event)
+
+    def emit(self, kind: str, region: str, task: str, name: str,
+             ts: Optional[float] = None,
+             data: Optional[Dict[str, Any]] = None) -> None:
+        """Convenience publisher; ``ts`` defaults to the bound clock."""
+        self.publish(TelemetryEvent(
+            self.clock() if ts is None else ts,
+            kind, region, task, name, data if data is not None else {}))
+
+    def __len__(self) -> int:
+        return len(self._subscribers)

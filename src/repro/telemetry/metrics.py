@@ -1,0 +1,330 @@
+"""Metrics registry: counters, gauges and histograms over the event bus.
+
+The registry subscribes to a :class:`~repro.telemetry.bus.TelemetryBus`
+and folds the event stream into the counter catalogue below — the
+decisions that define Fluid (valve verdicts, re-executions, early
+terminations, quality failures, stall time) plus backend-specific
+traffic (process payload bytes, worker occupancy).  Every standard
+counter is pre-registered at zero so a dump always carries the full
+catalogue: two dumps from different backends can be diffed key-by-key
+and backend-parity tests can compare the key *sets* directly.
+
+Counter catalogue
+-----------------
+
+========================================  =====================================
+``valve.start.pass`` / ``.fail``          start-valve set evaluations by verdict
+``valve.end.pass`` / ``.fail``            end-valve (quality) evaluations
+``tasks.runs``                            bodies started (RUNNING entries)
+``tasks.completed``                       tasks that reached COMPLETE
+``tasks.reexecutions``                    guard-scheduled re-runs
+``tasks.early_terminations``              runs cancelled/skipped by Section 6.1
+``tasks.quality_failures``                end checks that rejected a run
+``tasks.failed_runs``                     bodies that raised (remote backends)
+``tasks.dep_stalls``                      transitions into DEP_STALLED
+``tasks.spawned``                         dynamic tasks (Section 8)
+``time.running``                          total residence in RUNNING
+``time.start_check``                      total residence in START_CHECK
+``time.waiting``                          total residence in WAITING
+``time.dep_stalled``                      total dep-stall residence
+``process.payload_bytes_to_workers``      snapshot bytes shipped at dispatch
+``process.payload_bytes_from_workers``    snapshot bytes flushed back
+``process.payload_messages``              payload-carrying IPC messages
+``process.dispatches``                    bodies dispatched to worker slots
+``trace.dropped_events``                  ring-buffer drops in the Trace
+========================================  =====================================
+
+``time.*`` counters are in the executor's clock units (virtual cost
+units under the simulator, seconds under the real backends).  Gauges
+``run.makespan``, ``run.workers``, ``worker.busy_time`` and
+``worker.utilization`` are set once at the end of the run.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from .bus import TelemetryEvent
+
+#: Version tag written into every metrics dump.
+METRICS_SCHEMA = "repro-telemetry-metrics/1"
+
+#: Pre-registered counters (see module docstring for semantics).
+COUNTER_CATALOGUE = (
+    "valve.start.pass", "valve.start.fail",
+    "valve.end.pass", "valve.end.fail",
+    "tasks.runs", "tasks.completed", "tasks.reexecutions",
+    "tasks.early_terminations", "tasks.quality_failures",
+    "tasks.failed_runs", "tasks.dep_stalls", "tasks.spawned",
+    "time.running", "time.start_check", "time.waiting", "time.dep_stalled",
+    "process.payload_bytes_to_workers", "process.payload_bytes_from_workers",
+    "process.payload_messages", "process.dispatches",
+    "trace.dropped_events",
+)
+
+#: Guard completion reasons that count as Section-6.1 early termination.
+_EARLY_TERMINATION_REASONS = ("early-termination", "rerun-skipped")
+
+#: Task states whose residence time is accumulated into ``time.*``.
+_TIMED_STATES = {
+    "RUNNING": "time.running",
+    "START_CHECK": "time.start_check",
+    "WAITING": "time.waiting",
+    "DEP_STALLED": "time.dep_stalled",
+}
+
+
+class Histogram:
+    """A fixed-boundary histogram (decade buckets, seconds-friendly)."""
+
+    BOUNDS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0)
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.buckets = [0] * (len(self.BOUNDS) + 1)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        for index, bound in enumerate(self.BOUNDS):
+            if value <= bound:
+                self.buckets[index] += 1
+                return
+        self.buckets[-1] += 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        labels = [f"le_{bound:g}" for bound in self.BOUNDS] + ["le_inf"]
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": (self.total / self.count) if self.count else None,
+            "buckets": dict(zip(labels, self.buckets)),
+        }
+
+
+class MetricsRegistry:
+    """Folds bus events into counters/gauges/histograms; JSON in and out."""
+
+    def __init__(self):
+        self.counters: Dict[str, float] = {
+            name: 0 for name in COUNTER_CATALOGUE}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = {
+            "valve.latency": Histogram()}
+        # (region, task) -> (state name, entry timestamp)
+        self._since: Dict[Tuple[str, str], Tuple[str, float]] = {}
+        # worker slot -> dispatch timestamp
+        self._busy_since: Dict[int, float] = {}
+        self._busy_total = 0.0
+
+    # -- primitive mutation ------------------------------------------------
+
+    def inc(self, name: str, amount: float = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def observe(self, name: str, value: float) -> None:
+        self.histograms.setdefault(name, Histogram()).observe(value)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    # -- bus subscription --------------------------------------------------
+
+    def on_event(self, event: TelemetryEvent) -> None:
+        kind = event.kind
+        if kind == "transition":
+            self._on_transition(event)
+        elif kind == "valve":
+            verdict = "pass" if event.data.get("result") else "fail"
+            self.inc(f"valve.{event.name}.{verdict}")
+            latency = event.data.get("latency")
+            if latency is not None:
+                self.observe("valve.latency", latency)
+        elif kind == "guard":
+            self._on_guard(event)
+        elif kind == "sched":
+            if event.name == "spawn":
+                self.inc("tasks.spawned")
+        elif kind == "payload":
+            direction = ("to_workers" if event.name == "to-worker"
+                         else "from_workers")
+            self.inc(f"process.payload_bytes_{direction}",
+                     event.data.get("bytes", 0))
+            self.inc("process.payload_messages")
+        elif kind == "worker":
+            self._on_worker(event)
+
+    def _on_transition(self, event: TelemetryEvent) -> None:
+        key = (event.region, event.task)
+        open_state = self._since.get(key)
+        if open_state is not None:
+            state, entered = open_state
+            counter = _TIMED_STATES.get(state)
+            if counter is not None:
+                self.inc(counter, event.ts - entered)
+        if event.name == "COMPLETE":
+            self._since.pop(key, None)
+            self.inc("tasks.completed")
+        else:
+            self._since[key] = (event.name, event.ts)
+            if event.name == "RUNNING":
+                self.inc("tasks.runs")
+            elif event.name == "DEP_STALLED":
+                self.inc("tasks.dep_stalls")
+
+    def _on_guard(self, event: TelemetryEvent) -> None:
+        detail = event.data.get("detail", "")
+        if event.name == "rerun":
+            self.inc("tasks.reexecutions")
+        elif event.name == "wait" and detail == "quality-failed":
+            self.inc("tasks.quality_failures")
+        elif event.name == "complete" and detail in _EARLY_TERMINATION_REASONS:
+            self.inc("tasks.early_terminations")
+        elif event.name == "failed":
+            self.inc("tasks.failed_runs")
+
+    def _on_worker(self, event: TelemetryEvent) -> None:
+        slot = event.data.get("slot")
+        if event.name == "dispatch":
+            self.inc("process.dispatches")
+            self._busy_since[slot] = event.ts
+        elif event.name == "free":
+            started = self._busy_since.pop(slot, None)
+            if started is not None:
+                self._busy_total += event.ts - started
+
+    # -- end of run --------------------------------------------------------
+
+    def finalize(self, makespan: float, workers: int, now: float) -> None:
+        """Close open intervals and derive the utilization gauges.
+
+        ``workers`` is the parallelism denominator: virtual cores for
+        the simulator, 1 for the GIL-bound thread backend, the pool size
+        for the process backend.
+        """
+        for (_region, _task), (state, entered) in list(self._since.items()):
+            counter = _TIMED_STATES.get(state)
+            if counter is not None:
+                self.inc(counter, now - entered)
+        self._since.clear()
+        for slot, started in list(self._busy_since.items()):
+            self._busy_total += now - started
+        self._busy_since.clear()
+        self.set_gauge("run.makespan", makespan)
+        self.set_gauge("run.workers", workers)
+        busy = (self._busy_total if self.counters["process.dispatches"]
+                else self.counters["time.running"])
+        self.set_gauge("worker.busy_time", busy)
+        if makespan > 0 and workers > 0:
+            self.set_gauge("worker.utilization",
+                           min(1.0, busy / (makespan * workers)))
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": METRICS_SCHEMA,
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {name: histogram.to_dict()
+                           for name, histogram in self.histograms.items()},
+        }
+
+    def dump(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+# -------------------------------------------------------------- dump tools
+
+
+def load_metrics(path: str) -> Dict[str, Any]:
+    """Read one metrics dump, validating the schema tag."""
+    with open(path, "r", encoding="utf-8") as handle:
+        dump = json.load(handle)
+    if not isinstance(dump, dict) or "counters" not in dump:
+        raise ValueError(f"{path!r} is not a telemetry metrics dump")
+    if dump.get("schema") != METRICS_SCHEMA:
+        raise ValueError(
+            f"{path!r} has schema {dump.get('schema')!r}; "
+            f"this tool reads {METRICS_SCHEMA!r}")
+    return dump
+
+
+def diff_metrics(a: Dict[str, Any], b: Dict[str, Any]) -> List[Tuple]:
+    """Rows ``(key, a_value, b_value, delta)`` over both dumps' keys.
+
+    Counters and gauges are compared numerically; a key missing on one
+    side reads as 0.  Histograms are compared by count and sum.
+    """
+    rows: List[Tuple] = []
+    for section in ("counters", "gauges"):
+        keys = sorted(set(a.get(section, {})) | set(b.get(section, {})))
+        for key in keys:
+            left = a.get(section, {}).get(key, 0) or 0
+            right = b.get(section, {}).get(key, 0) or 0
+            rows.append((key, left, right, right - left))
+    names = sorted(set(a.get("histograms", {})) | set(b.get("histograms", {})))
+    for name in names:
+        for field in ("count", "sum"):
+            left = (a.get("histograms", {}).get(name, {}).get(field) or 0)
+            right = (b.get("histograms", {}).get(name, {}).get(field) or 0)
+            rows.append((f"{name}.{field}", left, right, right - left))
+    return rows
+
+
+def _format_value(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.6g}"
+    return f"{int(value)}"
+
+
+def render_summary(dump: Dict[str, Any], title: str = "metrics") -> str:
+    """Human-readable one-dump summary."""
+    lines = [f"=== {title} ==="]
+    counters = dump.get("counters", {})
+    width = max((len(key) for key in counters), default=8) + 2
+    lines.append("counters:")
+    for key in sorted(counters):
+        lines.append(f"  {key:<{width}}{_format_value(counters[key])}")
+    gauges = dump.get("gauges", {})
+    if gauges:
+        lines.append("gauges:")
+        for key in sorted(gauges):
+            lines.append(f"  {key:<{width}}{_format_value(gauges[key])}")
+    for name, histogram in sorted(dump.get("histograms", {}).items()):
+        lines.append(f"histogram {name}: count={histogram.get('count')} "
+                     f"sum={_format_value(histogram.get('sum'))} "
+                     f"min={_format_value(histogram.get('min'))} "
+                     f"max={_format_value(histogram.get('max'))}")
+    return "\n".join(lines)
+
+
+def render_diff(a: Dict[str, Any], b: Dict[str, Any],
+                a_name: str = "a", b_name: str = "b",
+                changed_only: bool = False) -> str:
+    """Human-readable two-dump comparison."""
+    rows = diff_metrics(a, b)
+    if changed_only:
+        rows = [row for row in rows if row[3]]
+    width = max((len(row[0]) for row in rows), default=8) + 2
+    lines = [f"=== metrics diff: {a_name} vs {b_name} ===",
+             f"  {'key':<{width}}{a_name:>14}{b_name:>14}{'delta':>14}"]
+    for key, left, right, delta in rows:
+        lines.append(f"  {key:<{width}}{_format_value(left):>14}"
+                     f"{_format_value(right):>14}{_format_value(delta):>14}")
+    if changed_only and len(lines) == 2:
+        lines.append("  (no differences)")
+    return "\n".join(lines)

@@ -1,6 +1,9 @@
 """Tests for the standalone benchmark CLI (python -m repro.bench)."""
 
+import json
+
 from repro.bench.__main__ import main as bench_main
+from repro.telemetry import load_metrics
 
 
 class TestBenchCli:
@@ -26,6 +29,19 @@ class TestBenchCli:
         assert bench_main(["--app", "fft", "--quick"]) == 0
         out = capsys.readouterr().out
         assert "N1K" in out and "N4K" not in out
+
+    def test_telemetry_artifacts(self, tmp_path, capsys):
+        trace = tmp_path / "run.perfetto.json"
+        metrics = tmp_path / "run.metrics.json"
+        assert bench_main(["--app", "kmeans", "--quick",
+                           "--trace-out", str(trace),
+                           "--metrics-out", str(metrics)]) == 0
+        err = capsys.readouterr().err
+        assert "wrote trace" in err and "wrote metrics" in err
+        doc = json.loads(trace.read_text())
+        assert any(e.get("ph") == "X" for e in doc["traceEvents"])
+        dump = load_metrics(str(metrics))
+        assert dump["counters"]["tasks.runs"] > 0
 
     def test_backend_thread(self, capsys):
         assert bench_main(["--backend", "thread", "--scale", "0.01",

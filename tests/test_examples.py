@@ -57,6 +57,12 @@ class TestExamples:
         assert "outputs agree with serial: True" in out
         assert "spawn events in trace:    4" in out
 
+    def test_telemetry_tour(self):
+        out = run_example("telemetry_tour.py")
+        assert "headline counters:" in out
+        assert "worker utilization" in out
+        assert "timeline slices" in out
+
     def test_process_parallel(self):
         out = run_example("process_parallel.py")
         assert out.count("outputs ok: True") == 2

@@ -284,6 +284,24 @@ class TestSweepAndArtifacts:
         replayed = replay_artifact(report.artifacts[0])
         assert replayed.failure == record["failure"]
 
+    def test_replay_cli_writes_telemetry_artifacts(self, tmp_path, capsys):
+        from repro.schedlab.__main__ import main as schedlab_main
+        report = sweep(["racy"], seeds=20, policy_name="random",
+                       backend="sim", artifact_dir=str(tmp_path),
+                       stop_first=True)
+        assert report.artifacts
+        trace = tmp_path / "replay.perfetto.json"
+        metrics = tmp_path / "replay.metrics.json"
+        assert schedlab_main(["replay", report.artifacts[0],
+                              "--trace-out", str(trace),
+                              "--metrics-out", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "wrote trace" in out and "wrote metrics" in out
+        doc = json.loads(trace.read_text())
+        assert "traceEvents" in doc
+        dump = json.loads(metrics.read_text())
+        assert dump["counters"]["tasks.runs"] > 0
+
     def test_artifact_file_shape(self, tmp_path):
         failing = run_scenario("racy", policy=SeededRandomPolicy(1),
                                seed=1)

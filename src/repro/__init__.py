@@ -45,7 +45,8 @@ from .core import (AlwaysValve, CompileError, ConvergenceValve, Count,
                    TaskBodyError,
                    PredicateValve, RegionStats, SchedulerError,
                    StabilityValve, TaskContext, TaskGraph, TaskSpec,
-                   TaskState, Valve, ValveError, submit_all, submit_chain,
+                   TaskState, Valve, ValveError, memoization_enabled,
+                   set_memoization, submit_all, submit_chain,
                    submit_stages, sync)
 from .runtime import (BACKENDS, Overheads, ProcessExecutor, RunResult,
                       SimExecutor, SimResult, ThreadExecutor, Trace,
@@ -65,7 +66,8 @@ __all__ = [
     "TaskBodyError",
     "PredicateValve", "RegionStats", "SchedulerError", "StabilityValve",
     "TaskContext", "TaskGraph", "TaskSpec", "TaskState", "Valve",
-    "ValveError", "submit_all", "submit_chain", "submit_stages", "sync",
+    "ValveError", "memoization_enabled", "set_memoization",
+    "submit_all", "submit_chain", "submit_stages", "sync",
     "BACKENDS", "Overheads", "ProcessExecutor", "RunResult", "SimExecutor",
     "SimResult", "ThreadExecutor", "Trace", "make_executor", "run_serial",
     "TimelineRecorder", "ThresholdTuner", "TuningResult", "ValveSelector",

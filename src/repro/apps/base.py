@@ -114,7 +114,9 @@ class FluidApp:
                   parallelism: int = 1,
                   trace: bool = False,
                   backend: str = "sim",
-                  telemetry: Optional[Any] = None) -> AppRun:
+                  telemetry: Optional[Any] = None,
+                  backend_options: Optional[Dict[str, Any]] = None
+                  ) -> AppRun:
         """Execute the fluidized app on the chosen backend.
 
         ``backend="sim"`` (the default) reports makespans in virtual
@@ -127,7 +129,11 @@ class FluidApp:
 
         Pass a :class:`repro.telemetry.Telemetry` via ``telemetry=`` to
         collect structured metrics and a Perfetto-loadable trace from
-        any backend (see docs/telemetry.md).
+        any backend (see docs/telemetry.md).  ``backend_options``
+        forwards extra constructor knobs to the real-time executors
+        (e.g. ``{"fallback_interval": 0.002}`` to bench the legacy
+        polling wake cadence); it is ignored on the simulator, whose
+        knobs are explicit parameters here.
         """
         if threshold is None:
             threshold = self.default_threshold
@@ -151,7 +157,7 @@ class FluidApp:
             executor = make_executor(
                 backend, modulation=modulation,
                 cancel_first_runs=self.cancel_first_runs,
-                telemetry=telemetry)
+                telemetry=telemetry, **(backend_options or {}))
         plan.submit_to(executor)
         result = executor.run()
         output = self.extract_output(plan)

@@ -1,8 +1,11 @@
 """Benchmark support: standard workloads, runners and table rendering."""
 
-from .harness import (BenchRow, bench_overheads, run_comparison,
-                      standard_suite)
+from .baseline import (compare_to_baseline, load_baseline, save_baseline)
+from .harness import (BenchRow, bench_overheads, collect_region_counters,
+                      run_comparison, run_region_comparison, standard_suite)
 from .reporting import render_series, render_table
 
-__all__ = ["BenchRow", "bench_overheads", "run_comparison",
+__all__ = ["BenchRow", "bench_overheads", "collect_region_counters",
+           "compare_to_baseline", "load_baseline", "run_comparison",
+           "run_region_comparison", "save_baseline",
            "standard_suite", "render_series", "render_table"]

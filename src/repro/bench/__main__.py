@@ -8,6 +8,19 @@ threshold sweep) without pytest — handy for quick explorations::
     python -m repro.bench --app kmeans       # just one app
     python -m repro.bench --sweep kmeans     # threshold sweep for one app
     python -m repro.bench --backend process  # real-core thread-vs-process
+
+Baseline workflow (see docs/benchmarks.md)::
+
+    python -m repro.bench --quick --save-baseline BENCH_abc123.json
+    python -m repro.bench --quick --compare BENCH_abc123.json
+
+``--compare`` exits non-zero when any workload's latency regressed by
+more than ``--baseline-tolerance`` (default 15%) against the recorded
+numbers; the report also tracks valve-check and re-execution drift.
+``--fluid-backend thread`` runs the same matrix on real threads
+(wall-clock baselines); ``--fluid-backend process`` benches the
+process-contract-safe CPU-bound fan-out instead, since most Figure-6
+apps alias payload buffers.
 """
 
 from __future__ import annotations
@@ -17,44 +30,81 @@ import sys
 
 import numpy as np
 
-from .harness import run_backend_bench, run_comparison, standard_suite
+from ..core.valves import set_memoization
+from .harness import (cpu_bound_shapes, run_backend_bench, run_comparison,
+                      run_region_comparison, standard_suite)
 from .reporting import render_series, render_table
 
 
-def run_figure6(only_app=None, quick=False, telemetry=None) -> int:
+def collect_figure6_rows(only_app=None, quick=False, telemetry=None,
+                         fluid_backend="sim", repeat=1,
+                         backend_options=None):
+    """Run the Figure-6 matrix; return the list of BenchRow objects."""
     rows = []
     telemetry_used = False
     for app_name, inputs in standard_suite().items():
         if only_app and app_name != only_app:
             continue
         for input_name, factory in inputs.items():
+            extra = {}
+            if fluid_backend != "sim":
+                extra["backend"] = fluid_backend
+                if backend_options:
+                    extra["backend_options"] = dict(backend_options)
             # Telemetry instruments the first fluid run only: one bus
             # records one executor's clock, so artifacts stay coherent.
-            extra = {}
             if telemetry is not None and not telemetry_used:
                 extra["telemetry"] = telemetry
                 telemetry_used = True
-            row = run_comparison(factory(), input_name, **extra)
-            rows.append(row.as_list())
+            row = run_comparison(factory(), input_name, repeat=repeat,
+                                 **extra)
+            rows.append(row)
             print(f"  ran {app_name}/{input_name}: "
                   f"latency {row.normalized_latency:.3f}, "
-                  f"accuracy {row.normalized_accuracy:.3f}",
+                  f"accuracy {row.normalized_accuracy:.3f}, "
+                  f"valve checks {row.valve_checks}"
+                  + (f" (+{row.valve_checks_skipped} memoized)"
+                     if row.valve_checks_skipped else ""),
                   file=sys.stderr)
             if quick:
                 break
-    if not rows:
-        print(f"unknown app {only_app!r}; have: "
-              f"{', '.join(standard_suite())}", file=sys.stderr)
-        return 1
-    latencies = [row[2] for row in rows]
-    accuracies = [row[3] for row in rows]
-    rows.append(["AVERAGE", "-", float(np.mean(latencies)),
-                 float(np.mean(accuracies)), ""])
+    return rows
+
+
+def collect_process_rows(quick=False, telemetry=None, workers=None,
+                         repeat=1):
+    """Bench the process-safe CPU-bound fan-out on the process backend."""
+    rows = []
+    telemetry_used = False
+    for input_name, (tasks, iterations) in cpu_bound_shapes(quick).items():
+        extra = {}
+        if telemetry is not None and not telemetry_used:
+            extra["telemetry"] = telemetry
+            telemetry_used = True
+        row = run_region_comparison(input_name, tasks, iterations,
+                                    backend="process", workers=workers,
+                                    repeat=repeat, **extra)
+        rows.append(row)
+        print(f"  ran cpu_bound/{input_name}: "
+              f"{row.fluid_makespan:.3f}s wall, "
+              f"valve checks {row.valve_checks}",
+              file=sys.stderr)
+    return rows
+
+
+def print_rows(rows, fluid_backend="sim") -> None:
+    table = [row.as_list() for row in rows]
+    latencies = [row.normalized_latency for row in rows]
+    accuracies = [row.normalized_accuracy for row in rows]
+    table.append(["AVERAGE", "-", float(np.mean(latencies)),
+                  float(np.mean(accuracies)), ""])
+    unit = ("virtual time" if fluid_backend == "sim"
+            else f"wall clock, {fluid_backend} backend")
     print(render_table(
-        "Fluidized latency and accuracy, normalized to the original",
+        f"Fluidized latency and accuracy, normalized to the original "
+        f"({unit})",
         ["app", "input", "norm latency", "norm accuracy", "native"],
-        rows))
-    return 0
+        table))
 
 
 def run_sweep(app_name: str, thresholds) -> int:
@@ -96,6 +146,73 @@ def run_backends(backend: str, workers, tasks, scale: float,
     return 0
 
 
+def run_matrix(args, telemetry=None) -> int:
+    """The row-producing modes: Figure-6 matrix or process-safe regions,
+    optionally recording or gating against a persistent baseline."""
+    from . import baseline as baseline_mod
+
+    memoization = not args.no_valve_memo
+    repeat = args.repeat
+    if repeat is None:
+        # Wall-clock backends need per-workload means; sim is exact.
+        repeat = 1 if args.fluid_backend == "sim" else 5
+    previous = set_memoization(memoization)
+    try:
+        if args.fluid_backend == "process":
+            if args.app:
+                print("--fluid-backend process benches the process-safe "
+                      "cpu_bound workload; --app does not apply",
+                      file=sys.stderr)
+                return 1
+            rows = collect_process_rows(quick=args.quick,
+                                        telemetry=telemetry,
+                                        workers=args.workers,
+                                        repeat=repeat)
+        else:
+            backend_options = {}
+            if args.legacy_polling:
+                # The pre-event-driven runtime: no data-cell wake
+                # subscriptions, guards re-check on every poll tick.
+                backend_options["event_wakeups"] = False
+                backend_options["fallback_interval"] = 0.002
+            if args.fallback_interval is not None:
+                backend_options["fallback_interval"] = (
+                    args.fallback_interval)
+            rows = collect_figure6_rows(args.app, quick=args.quick,
+                                        telemetry=telemetry,
+                                        fluid_backend=args.fluid_backend,
+                                        repeat=repeat,
+                                        backend_options=backend_options)
+    finally:
+        set_memoization(previous)
+    if not rows:
+        print(f"unknown app {args.app!r}; have: "
+              f"{', '.join(standard_suite())}", file=sys.stderr)
+        return 1
+    print_rows(rows, fluid_backend=args.fluid_backend)
+
+    status = 0
+    if args.save_baseline:
+        baseline_mod.save_baseline(
+            args.save_baseline, rows, backend=args.fluid_backend,
+            quick=args.quick, memoization=memoization, app=args.app,
+            repeat=repeat)
+        print(f"  saved baseline to {args.save_baseline}", file=sys.stderr)
+    if args.compare:
+        try:
+            document = baseline_mod.load_baseline(args.compare)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"cannot load baseline: {exc}", file=sys.stderr)
+            return 1
+        report = baseline_mod.compare_to_baseline(
+            document, rows, backend=args.fluid_backend, quick=args.quick,
+            memoization=memoization, app=args.app, repeat=repeat,
+            tolerance=args.baseline_tolerance)
+        print(report.render())
+        status = 0 if report.ok else 1
+    return status
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
@@ -110,6 +227,13 @@ def main(argv=None) -> int:
                              "a CPU-bound fan-out on real cores against the "
                              "thread baseline; 'sim' (the default) runs the "
                              "Figure-6 matrix on the simulator")
+    parser.add_argument("--fluid-backend",
+                        choices=("sim", "thread", "process"), default="sim",
+                        help="backend executing the fluid runs of the "
+                             "matrix: 'sim' (default, virtual time), "
+                             "'thread' (the same apps, wall clock), or "
+                             "'process' (the process-contract-safe "
+                             "cpu_bound fan-out, wall clock)")
     parser.add_argument("--quick", action="store_true",
                         help="smoke-test sizing: one input per app for the "
                              "Figure-6 matrix, a smaller real-core workload")
@@ -123,6 +247,33 @@ def main(argv=None) -> int:
     parser.add_argument("--tasks", type=int, default=None,
                         help="fan-out width for the real-core backend "
                              "workload (default: max(2, workers))")
+    parser.add_argument("--repeat", type=int, default=None,
+                        help="fluid runs per workload; rows record the "
+                             "mean (default 1 on the simulator, 5 on the "
+                             "wall-clock fluid backends)")
+    parser.add_argument("--fallback-interval", type=float, default=None,
+                        help="thread-backend guard fallback wait in "
+                             "seconds (thread matrix only)")
+    parser.add_argument("--legacy-polling", action="store_true",
+                        help="run the thread matrix with event wakeups "
+                             "disabled and a poll-tick fallback — the "
+                             "pre-event-driven runtime, for before/after "
+                             "baselines (pair with --no-valve-memo)")
+    parser.add_argument("--no-valve-memo", action="store_true",
+                        help="disable valve-check memoization for the run "
+                             "(for before/after efficiency comparisons)")
+    parser.add_argument("--save-baseline", metavar="PATH",
+                        help="write a machine-readable baseline JSON "
+                             "(per-workload latency, valve checks, "
+                             "re-executions) for later --compare runs")
+    parser.add_argument("--compare", metavar="PATH",
+                        help="gate this run against a recorded baseline; "
+                             "exits non-zero on latency regressions beyond "
+                             "--baseline-tolerance")
+    parser.add_argument("--baseline-tolerance", type=float, default=0.15,
+                        help="allowed fractional latency increase per "
+                             "workload before --compare fails "
+                             "(default 0.15)")
     parser.add_argument("--trace-out", metavar="PATH",
                         help="write a Chrome/Perfetto trace JSON of the "
                              "first (or measured) fluid run")
@@ -131,6 +282,16 @@ def main(argv=None) -> int:
                              "first (or measured) fluid run "
                              "(inspect with python -m repro.telemetry)")
     args = parser.parse_args(argv)
+
+    if ((args.legacy_polling or args.fallback_interval is not None)
+            and args.fluid_backend != "thread"):
+        parser.error("--legacy-polling/--fallback-interval are thread-"
+                     "backend knobs; use --fluid-backend thread")
+    if (args.save_baseline or args.compare) and (
+            args.sweep or args.backend in ("thread", "process")):
+        parser.error("--save-baseline/--compare apply to the matrix modes "
+                     "only, not --sweep or the real-core --backend "
+                     "comparison")
 
     telemetry = None
     if args.trace_out or args.metrics_out:
@@ -148,7 +309,7 @@ def main(argv=None) -> int:
         status = run_backends(args.backend, args.workers, args.tasks, scale,
                               telemetry=telemetry)
     else:
-        status = run_figure6(args.app, quick=args.quick, telemetry=telemetry)
+        status = run_matrix(args, telemetry=telemetry)
     if telemetry is not None and status == 0:
         telemetry.write(trace_out=args.trace_out,
                         metrics_out=args.metrics_out)

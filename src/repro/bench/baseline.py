@@ -1,0 +1,245 @@
+"""Persistent, machine-readable benchmark baselines.
+
+``python -m repro.bench --save-baseline BENCH_<rev>.json`` snapshots
+one bench run — per-workload latency, valve-check and re-execution
+counters plus the run configuration — and ``--compare BENCH_<rev>.json``
+re-runs the same configuration and gates on it: any workload whose
+latency regressed by more than the tolerance (default 15%) fails the
+comparison, and valve-check / re-execution drifts are reported so
+efficiency wins (e.g. valve memoization) are visible in the same place.
+
+The CI regression gate compares the simulator matrix, whose virtual-time
+makespans are deterministic; wall-clock baselines (``--fluid-backend
+thread``/``process``) are only meaningful against baselines recorded on
+the same machine.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .harness import BenchRow
+
+#: Schema tag written into every baseline file; bump on layout changes.
+SCHEMA = "repro-bench-baseline/1"
+
+#: Configuration keys that must match between a baseline and the run
+#: comparing against it — comparing sim numbers to thread numbers (or a
+#: different workload set) would gate on noise, not regressions.  The
+#: ``memoization`` flag is deliberately NOT fatal: recording a memo-off
+#: baseline and comparing a memo-on run against it is exactly the
+#: before/after efficiency experiment the flag exists for, so a
+#: mismatch is only noted in the report.
+_CONFIG_KEYS = ("backend", "quick", "app")
+
+
+def current_rev() -> str:
+    """The repository revision to stamp into saved baselines."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10, check=False)
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "unknown"
+
+
+def baseline_dict(rows: List[BenchRow], backend: str, quick: bool,
+                  memoization: bool, app: Optional[str] = None,
+                  repeat: int = 1, rev: Optional[str] = None) -> dict:
+    """Build the JSON-serializable baseline document for one run."""
+    return {
+        "schema": SCHEMA,
+        "rev": rev if rev is not None else current_rev(),
+        "recorded": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "config": {"backend": backend, "quick": bool(quick),
+                   "memoization": bool(memoization), "app": app,
+                   "repeat": int(repeat)},
+        "workloads": {
+            row.key: {
+                "normalized_latency": row.normalized_latency,
+                "normalized_accuracy": row.normalized_accuracy,
+                "precise_makespan": row.precise_makespan,
+                "fluid_makespan": row.fluid_makespan,
+                "fluid_makespan_min": row.gate_makespan,
+                "valve_checks": row.valve_checks,
+                "valve_checks_skipped": row.valve_checks_skipped,
+                "reexecutions": row.reexecutions,
+            }
+            for row in rows
+        },
+    }
+
+
+def save_baseline(path: str, rows: List[BenchRow], backend: str,
+                  quick: bool, memoization: bool,
+                  app: Optional[str] = None, repeat: int = 1) -> dict:
+    """Write a baseline file and return the document that was written."""
+    document = baseline_dict(rows, backend, quick, memoization, app,
+                             repeat=repeat)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return document
+
+
+def load_baseline(path: str) -> dict:
+    """Load and schema-check a baseline file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict) or document.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{path}: not a bench baseline (expected schema {SCHEMA!r}, "
+            f"got {document.get('schema')!r})"
+            if isinstance(document, dict)
+            else f"{path}: not a bench baseline document")
+    if not isinstance(document.get("workloads"), dict):
+        raise ValueError(f"{path}: baseline has no 'workloads' table")
+    return document
+
+
+@dataclass
+class WorkloadDelta:
+    """Comparison of one workload against its baseline entry."""
+
+    key: str
+    base_latency: float
+    cur_latency: float
+    base_checks: int
+    cur_checks: int
+    base_reexecutions: int
+    cur_reexecutions: int
+
+    @property
+    def latency_ratio(self) -> float:
+        if self.base_latency <= 0:
+            return float("inf") if self.cur_latency > 0 else 1.0
+        return self.cur_latency / self.base_latency
+
+    def regressed(self, tolerance: float) -> bool:
+        return self.latency_ratio > 1.0 + tolerance
+
+
+@dataclass
+class ComparisonReport:
+    """Outcome of gating one bench run against a recorded baseline."""
+
+    rev: str
+    tolerance: float
+    deltas: List[WorkloadDelta] = field(default_factory=list)
+    missing: List[str] = field(default_factory=list)   # in baseline only
+    extra: List[str] = field(default_factory=list)     # in this run only
+    config_mismatch: List[str] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[WorkloadDelta]:
+        return [d for d in self.deltas if d.regressed(self.tolerance)]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions and not self.config_mismatch
+
+    def _check_deltas(self) -> "tuple[int, int]":
+        base = sum(d.base_checks for d in self.deltas)
+        cur = sum(d.cur_checks for d in self.deltas)
+        return base, cur
+
+    def render(self) -> str:
+        lines = [f"baseline comparison (rev {self.rev}, "
+                 f"tolerance {self.tolerance:.0%}):"]
+        if self.config_mismatch:
+            for mismatch in self.config_mismatch:
+                lines.append(f"  CONFIG MISMATCH: {mismatch}")
+            lines.append("  (re-record the baseline or rerun with the "
+                         "baseline's configuration)")
+            return "\n".join(lines)
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        for delta in self.deltas:
+            verdict = ("REGRESSED" if delta.regressed(self.tolerance)
+                       else "ok")
+            lines.append(
+                f"  {delta.key}: latency x{delta.latency_ratio:.3f} "
+                f"[{verdict}], valve checks {delta.base_checks} -> "
+                f"{delta.cur_checks}, re-executions "
+                f"{delta.base_reexecutions} -> {delta.cur_reexecutions}")
+        base_checks, cur_checks = self._check_deltas()
+        if base_checks > 0:
+            change = (cur_checks - base_checks) / base_checks
+            lines.append(f"  total valve checks: {base_checks} -> "
+                         f"{cur_checks} ({change:+.1%})")
+        for key in self.missing:
+            lines.append(f"  WARNING: baseline workload {key} not in "
+                         "this run")
+        for key in self.extra:
+            lines.append(f"  note: workload {key} has no baseline entry")
+        lines.append(f"  verdict: {'PASS' if self.ok else 'FAIL'} "
+                     f"({len(self.regressions)} latency regression(s))")
+        return "\n".join(lines)
+
+
+def compare_to_baseline(document: dict, rows: List[BenchRow],
+                        backend: str, quick: bool, memoization: bool,
+                        app: Optional[str] = None, repeat: int = 1,
+                        tolerance: float = 0.15) -> ComparisonReport:
+    """Gate ``rows`` against a loaded baseline document.
+
+    Latency gates on the best-of-repeat makespan (``fluid_makespan_min``,
+    falling back to the mean for pre-min baselines; on sim and for
+    single runs the two coincide).  Units match the baseline run:
+    virtual cost on sim, wall seconds on the real backends.  Workloads
+    present on only one side are reported but do not fail the gate; a
+    configuration mismatch does, since the numbers would not be
+    comparable at all.
+    """
+    report = ComparisonReport(rev=str(document.get("rev", "?")),
+                              tolerance=tolerance)
+    config = document.get("config", {})
+    current: Dict[str, object] = {"backend": backend, "quick": bool(quick),
+                                  "memoization": bool(memoization),
+                                  "app": app}
+    for config_key in _CONFIG_KEYS:
+        if config.get(config_key) != current[config_key]:
+            report.config_mismatch.append(
+                f"{config_key}: baseline={config.get(config_key)!r} "
+                f"run={current[config_key]!r}")
+    if report.config_mismatch:
+        return report
+    if config.get("repeat", 1) != int(repeat):
+        report.notes.append(
+            f"repeat differs (baseline={config.get('repeat', 1)}, "
+            f"run={int(repeat)}); both estimate the same mean latency")
+    if config.get("memoization") != current["memoization"]:
+        report.notes.append(
+            f"memoization differs (baseline="
+            f"{config.get('memoization')!r}, run="
+            f"{current['memoization']!r}); valve-check deltas show the "
+            "memoization effect")
+
+    workloads = document["workloads"]
+    by_key = {row.key: row for row in rows}
+    for key, entry in workloads.items():
+        row = by_key.get(key)
+        if row is None:
+            report.missing.append(key)
+            continue
+        base_latency = entry.get("fluid_makespan_min",
+                                 entry.get("fluid_makespan", 0.0))
+        report.deltas.append(WorkloadDelta(
+            key=key,
+            base_latency=float(base_latency),
+            cur_latency=row.gate_makespan,
+            base_checks=int(entry.get("valve_checks", 0)),
+            cur_checks=row.valve_checks,
+            base_reexecutions=int(entry.get("reexecutions", 0)),
+            cur_reexecutions=row.reexecutions))
+    for key in by_key:
+        if key not in workloads:
+            report.extra.append(key)
+    return report

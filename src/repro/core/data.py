@@ -61,7 +61,9 @@ class FluidData:
         self.final = False
         self.precise = False
         self.producer = None  # type: Optional[object]  # FluidTask, set by graph
+        self.region = None  # type: Optional[object]  # FluidRegion backref
         self._watchers: List[Callable[["FluidData"], None]] = []
+        self._update_watchers: List[Callable[["FluidData"], None]] = []
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -93,6 +95,9 @@ class FluidData:
         self.version += 1
         self.final = False
         self.precise = False
+        if self._update_watchers:
+            for watcher in list(self._update_watchers):
+                watcher(self)
 
     def mark_final(self, precise: bool) -> None:
         """Called by the runtime when the producing run completes."""
@@ -128,6 +133,15 @@ class FluidData:
     def on_final(self, watcher: Callable[["FluidData"], None]) -> None:
         self._watchers.append(watcher)
 
+    def on_update(self, watcher: Callable[["FluidData"], None]) -> None:
+        """Register ``watcher(data)`` for every version bump.
+
+        Fires on each :meth:`write`/:meth:`touch`/element write, *before*
+        the producing run completes — the wakeup hook for event-driven
+        backends (``on_final`` only fires at run completion).
+        """
+        self._update_watchers.append(watcher)
+
     def snapshot(self) -> "DataSnapshot":
         """Capture version/precision for run-start bookkeeping."""
         return DataSnapshot(self.version, self.final, self.precise)
@@ -150,12 +164,33 @@ class FluidData:
         direct reference to the payload — task bodies, end-valve
         predicates, app-side output accessors — keep observing updates.
         Falls back to rebinding for scalars and shape changes.
+
+        Rebinding a *container* payload (array/list/bytearray whose shape
+        or type changed) is a contract hazard: closures holding the old
+        object keep observing the stale payload.  Such rebinds emit a
+        ``payload``/``rebound`` telemetry event on the owning region's
+        bus so the hazard is diagnosable; see ``docs/api.md``.
         """
         current = self._value
         if not _copy_in_place(current, value):
             self._value = value
+            if _is_aliasable(current):
+                self._note_rebound(current, value)
         if bump:
             self._bump()
+
+    def _note_rebound(self, old: Any, new: Any) -> None:
+        """Report that an aliasable payload was rebound, not copied into."""
+        telemetry = getattr(self.region, "telemetry", None)
+        if telemetry is not None:
+            telemetry.emit("payload", getattr(self.region, "name", ""), "",
+                           "rebound",
+                           data={"cell": self.name,
+                                 "version": self.version,
+                                 "from_type": type(old).__name__,
+                                 "to_type": type(new).__name__,
+                                 "from_shape": _shape_of(old),
+                                 "to_shape": _shape_of(new)})
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         flags = "".join(flag for flag, on in
@@ -226,6 +261,25 @@ def _numpy():
     except ImportError:  # pragma: no cover - numpy is a hard dependency
         return None
     return numpy
+
+
+def _is_aliasable(value: Any) -> bool:
+    """Whether closures could hold a live reference to ``value``'s storage
+    (mutable containers); scalars/None rebind without a hazard."""
+    np = _numpy()
+    if np is not None and isinstance(value, np.ndarray):
+        return True
+    return isinstance(value, (list, bytearray))
+
+
+def _shape_of(value: Any) -> Any:
+    shape = getattr(value, "shape", None)
+    if shape is not None:
+        return tuple(shape)
+    try:
+        return (len(value),)
+    except TypeError:
+        return None
 
 
 def _copy_in_place(current: Any, value: Any) -> bool:

@@ -60,6 +60,15 @@ class GuardHost:
         """
         raise error
 
+    def cell_updated(self, data) -> None:
+        """A watched data cell gained information (version bump or
+        finality).  Event-driven backends poke their sleeping guards
+        here so timed waits are pure fallbacks, not the wake mechanism;
+        the default is a no-op for backends that discover progress some
+        other way (the simulator's virtual clock, the process backend's
+        message stream).  May be called from any thread that mutates
+        Fluid data, i.e. from inside running task bodies."""
+
 
 class ModulationPolicy:
     """Runtime valve-threshold modulation (Sections 4.4 / 6.1).
@@ -128,6 +137,25 @@ class Coordinator:
         #: first layer and for Graph Coloring's selection tail — changes
         #: what work gets skipped, so apps opt in explicitly.
         self.cancel_first_runs = cancel_first_runs
+        self._wakeup_cells: "set[int]" = set()
+
+    def enable_update_wakeups(self) -> None:
+        """Route data-cell update/final notifications to the host.
+
+        Registers :meth:`GuardHost.cell_updated` as an ``on_update`` and
+        ``on_final`` watcher on every data cell the region's tasks read
+        or write, so an event-driven backend is poked the moment a
+        watched cell bumps instead of discovering it on the next poll
+        tick.  Idempotent and safe to call again after dynamic tasks
+        join the graph (only newly-seen cells are wired).
+        """
+        for task in self.graph:
+            for data in tuple(task.spec.inputs) + tuple(task.spec.outputs):
+                if id(data) in self._wakeup_cells:
+                    continue
+                self._wakeup_cells.add(id(data))
+                data.on_update(self.host.cell_updated)
+                data.on_final(self.host.cell_updated)
 
     # ------------------------------------------------------------------ API
 

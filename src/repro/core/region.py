@@ -85,6 +85,7 @@ class FluidRegion:
         if data.name in self.datas:
             raise GraphError(
                 f"region {self.name!r}: duplicate data {data.name!r}")
+        data.region = self
         self.datas[data.name] = data
         return data
 

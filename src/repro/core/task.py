@@ -212,12 +212,31 @@ class FluidTask:
         if telemetry is None or not valves:
             return all(valve.check() for valve in valves)
         started = time.perf_counter()
-        result = all(valve.check() for valve in valves)
+        evaluated = skipped = 0
+        result = True
+        for valve in valves:
+            before = valve.checks
+            verdict = valve.check()
+            if valve.checks == before:
+                skipped += 1
+            else:
+                evaluated += 1
+            if not verdict:
+                result = False
+                break
+        if evaluated == 0 and skipped:
+            # Every valve answered from its memo: nothing was recomputed,
+            # so no valve-evaluation event is published (the paper's
+            # "check" is the recompute, not the call).  The skips are
+            # still visible through MetricsRegistry via the per-region
+            # memo summary the executors publish at region completion.
+            return result
         telemetry.emit(
             "valve", getattr(self.region, "name", ""), self.name, which,
             data={"result": result,
                   "latency": time.perf_counter() - started,
-                  "valves": len(valves)})
+                  "valves": len(valves),
+                  "evaluated": evaluated, "skipped": skipped})
         return result
 
     def _valve_fault(self, which: str) -> "bool | None":

@@ -23,15 +23,43 @@ Threshold modulation (Sections 4.4 and 6.1): a user threshold is a
 serialization after quality failures.  :meth:`Valve.tighten` implements
 one tightening step and :meth:`Valve.relax_to_base` undoes it for a fresh
 region instance.
+
+Memoization: a valve's verdict is a pure function of the state it reads
+(counts, data flags) and its own thresholds.  Each stock valve knows how
+to summarize that state as a *memo token* (:meth:`Valve._memo_token`);
+when the token has not changed since the previous evaluation,
+:meth:`Valve.check` returns the cached verdict without recomputing and
+counts the call in :attr:`Valve.checks_skipped` instead of
+:attr:`Valve.checks`.  Backends that re-check valves on every wakeup
+(the real-time executors) skip the vast majority of evaluations this
+way.  Valves whose condition the framework cannot see — the base class
+and :class:`PredicateValve` — return ``None`` tokens and are never
+memoized.  :func:`set_memoization` disables the cache globally (used by
+A/B benchmarks and parity tests).
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from .count import Count
 from .data import FluidData
 from .errors import ValveError
+
+#: Global memoization switch (list so the flag is mutable in place).
+_MEMOIZE = [True]
+
+
+def set_memoization(enabled: bool) -> bool:
+    """Turn valve-verdict memoization on/off; returns the previous state."""
+    previous = _MEMOIZE[0]
+    _MEMOIZE[0] = bool(enabled)
+    return previous
+
+
+def memoization_enabled() -> bool:
+    """Whether valve-verdict memoization is currently active."""
+    return _MEMOIZE[0]
 
 
 class Valve:
@@ -40,6 +68,8 @@ class Valve:
     def __init__(self, name: str = "valve"):
         self.name = name
         self.checks = 0
+        self.checks_skipped = 0
+        self._memo: Optional[Tuple[Any, bool]] = None
 
     #: set by :meth:`declared` until ``init(...)`` is called (the paper's
     #: two-phase ``#pragma valve {ValveCT v1;}`` ... ``v1.init(ct, t)``).
@@ -54,13 +84,38 @@ class Valve:
         valve._uninitialized = True
         return valve
 
-    def check(self) -> bool:
-        """Return True when the condition is satisfied.  Never blocks."""
+    def _require_initialized(self, operation: str) -> None:
         if self._uninitialized:
             raise ValveError(
-                f"valve {self.name!r} checked before init(...) was called")
+                f"valve {self.name!r} {operation} before init(...) was called")
+
+    def check(self) -> bool:
+        """Return True when the condition is satisfied.  Never blocks.
+
+        Calls that can be answered from the memoized verdict (the valve's
+        inputs did not change since the previous evaluation) count toward
+        :attr:`checks_skipped` instead of :attr:`checks`.
+        """
+        self._require_initialized("checked")
+        token = self._memo_token() if _MEMOIZE[0] else None
+        if token is not None and self._memo is not None \
+                and self._memo[0] == token:
+            self.checks_skipped += 1
+            return self._memo[1]
         self.checks += 1
-        return self._satisfied()
+        verdict = self._satisfied()
+        self._memo = (token, verdict) if token is not None else None
+        return verdict
+
+    def invalidate_memo(self) -> None:
+        """Drop the cached verdict; the next check re-evaluates."""
+        self._memo = None
+
+    def _memo_token(self) -> Optional[Any]:
+        """Hashable-comparable summary of everything :meth:`_satisfied`
+        reads, or ``None`` when the valve cannot be memoized (the default:
+        opaque user conditions)."""
+        return None
 
     def _satisfied(self) -> bool:
         raise NotImplementedError
@@ -75,9 +130,11 @@ class Valve:
     def tighten(self, fraction: float) -> None:
         """Move the effective threshold ``fraction`` of the way toward the
         fully-serialized setting.  No-op for valves without thresholds."""
+        self._require_initialized("tightened")
 
     def relax_to_base(self) -> None:
         """Restore the user-specified threshold."""
+        self._require_initialized("relaxed")
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"{type(self).__name__}({self.name})"
@@ -89,6 +146,9 @@ class AlwaysValve(Valve):
     def _satisfied(self) -> bool:
         return True
 
+    def _memo_token(self) -> Optional[Any]:
+        return ()
+
 
 class NeverValve(Valve):
     """Never satisfied; as a start valve it serializes on re-execution
@@ -96,6 +156,9 @@ class NeverValve(Valve):
 
     def _satisfied(self) -> bool:
         return False
+
+    def _memo_token(self) -> Optional[Any]:
+        return ()
 
 
 class CountValve(Valve):
@@ -137,16 +200,24 @@ class CountValve(Valve):
     def _satisfied(self) -> bool:
         return self.count.value >= self.threshold
 
+    def _memo_token(self) -> Optional[Any]:
+        # (generation, updates) advances on every count state change; the
+        # value itself stays out of the token (it may be an array).
+        count = self.count
+        return (id(count), count.generation, count.updates, self.threshold)
+
     @property
     def watched_counts(self) -> Sequence[Count]:
         return (self.count,)
 
     def tighten(self, fraction: float) -> None:
+        self._require_initialized("tightened")
         if not 0.0 <= fraction <= 1.0:
             raise ValveError(f"tighten fraction {fraction} outside [0, 1]")
         self.threshold += (self.max_threshold - self.threshold) * fraction
 
     def relax_to_base(self) -> None:
+        self._require_initialized("relaxed")
         self.threshold = self.base_threshold
 
 
@@ -227,17 +298,22 @@ class ConvergenceValve(Valve):
         scale = max(abs(old), abs(new), 1e-12)
         return improvement / scale <= self.tolerance
 
+    def _memo_token(self) -> Optional[Any]:
+        return (id(self.count), len(self._history), self.window)
+
     @property
     def watched_counts(self) -> Sequence[Count]:
         return (self.count,)
 
     def tighten(self, fraction: float) -> None:
+        self._require_initialized("tightened")
         self.window = min(self.max_window,
                           int(round(self.window +
                                     (self.max_window - self.window) * fraction))
                           or 1)
 
     def relax_to_base(self) -> None:
+        self._require_initialized("relaxed")
         self.window = self.base_window
 
 
@@ -284,16 +360,21 @@ class StabilityValve(Valve):
         recent = self._history[-self.rounds:]
         return all(changed / self.total <= self.epsilon for changed in recent)
 
+    def _memo_token(self) -> Optional[Any]:
+        return (id(self.count), len(self._history), self.rounds)
+
     @property
     def watched_counts(self) -> Sequence[Count]:
         return (self.count,)
 
     def tighten(self, fraction: float) -> None:
+        self._require_initialized("tightened")
         self.rounds = min(self.max_rounds,
                           self.rounds +
                           max(1, int((self.max_rounds - self.rounds) * fraction)))
 
     def relax_to_base(self) -> None:
+        self._require_initialized("relaxed")
         self.rounds = self.base_rounds
 
 
@@ -338,3 +419,7 @@ class DataFinalValve(Valve):
 
     def _satisfied(self) -> bool:
         return self.data.final
+
+    def _memo_token(self) -> Optional[Any]:
+        data = self.data
+        return (id(data), data.version, data.final)

@@ -51,6 +51,22 @@ class Executor:
         raise NotImplementedError
 
 
+def emit_memo_summary(bus, region: FluidRegion) -> None:
+    """Publish one region's valve-memoization totals as a telemetry event.
+
+    Memo-answered ``check()`` calls intentionally publish no per-call
+    valve event (nothing was recomputed); the executors call this once
+    at region completion so the skipped work is still observable —
+    MetricsRegistry folds the event into the ``valve.checks.evaluated``
+    and ``valve.checks.skipped`` counters.
+    """
+    evaluated = sum(valve.checks for valve in region.valves)
+    skipped = sum(valve.checks_skipped for valve in region.valves)
+    bus.emit("valve", region.name, "", "memo",
+             data={"evaluated": evaluated, "skipped": skipped,
+                   "valves": len(region.valves)})
+
+
 #: Names accepted by :func:`make_executor` (and the bench ``--backend``
 #: flag): the virtual-time simulator, the GIL-bound thread backend, and
 #: the true-parallel multiprocessing backend.

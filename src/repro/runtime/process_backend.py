@@ -65,7 +65,7 @@ from ..core.guard import Coordinator, GuardHost, ModulationPolicy
 from ..core.region import FluidRegion
 from ..core.states import TaskState
 from ..core.task import FluidTask, TaskContext
-from .executor import Executor, RunResult
+from .executor import Executor, RunResult, emit_memo_summary
 
 #: Worker -> parent message kinds.
 _PROGRESS, _FINISHED, _CANCELLED, _ERROR = "progress", "finished", "cancelled", "error"
@@ -99,13 +99,22 @@ class ProcessExecutor(Executor, GuardHost):
         updates and payload snapshots.  Smaller values tighten the
         approximation granularity at the cost of more IPC.
     poll_interval / timeout:
-        Control-loop wakeup period and the overall wall-clock deadline,
-        as in :class:`~repro.runtime.thread_backend.ThreadExecutor`.
+        Legacy control-loop wakeup period (now only the timed-``get``
+        granularity of the non-event fallback path) and the overall
+        wall-clock deadline, as in
+        :class:`~repro.runtime.thread_backend.ThreadExecutor`.
+    fallback_interval:
+        Upper bound on one control-loop block.  The loop is woken by
+        events — worker messages arriving on the outbox, or a busy
+        worker's process sentinel closing — so this only bounds how
+        stale the deadline check can get; default
+        ``max(poll_interval * 20, 0.1)``.
     """
 
     def __init__(self, workers: Optional[int] = None,
                  modulation: Optional[ModulationPolicy] = None,
                  poll_interval: float = 0.005,
+                 fallback_interval: Optional[float] = None,
                  timeout: float = 60.0,
                  cancel_first_runs: bool = False,
                  flush_interval: float = 0.01,
@@ -123,6 +132,9 @@ class ProcessExecutor(Executor, GuardHost):
         self._bus = telemetry.bus if telemetry is not None else None
         self.cancel_first_runs = cancel_first_runs
         self.poll_interval = poll_interval
+        self.fallback_interval = (fallback_interval
+                                  if fallback_interval is not None
+                                  else max(poll_interval * 20, 0.1))
         self.timeout = timeout
         self.flush_interval = flush_interval
         #: SchedLab schedule policy: chooses which ready task is
@@ -137,6 +149,11 @@ class ProcessExecutor(Executor, GuardHost):
         self._queued: set = set()
         self._idle: List[int] = []
         self._slot_task: Dict[int, FluidTask] = {}
+        #: Delta-aware payload export: per slot, the parent-side version
+        #: of each cell as of its last shipment to that worker.  A cell
+        #: whose version is unchanged is skipped at dispatch — the
+        #: worker's forked copy already holds identical content.
+        self._shipped: Dict[int, Dict[Tuple[int, str], int]] = {}
         self._epoch = 0.0
         self._started = False
         self._error: Optional[Exception] = None
@@ -213,6 +230,7 @@ class ProcessExecutor(Executor, GuardHost):
                     "sched", run.region.name, "", "region-done",
                     data={"detail":
                           f"makespan={run.region.stats.makespan:.3f}"})
+                emit_memo_summary(self._bus, run.region)
 
     def task_failed(self, task: FluidTask, error: Exception) -> None:
         if self._error is None:
@@ -387,10 +405,22 @@ class ProcessExecutor(Executor, GuardHost):
         self._cancel_flags[slot] = 0
         task.transition(TaskState.RUNNING, self.now())
         task.begin_run()
+        shipped = self._shipped.setdefault(slot, {})
         payloads = {}
+        skipped = 0
         for data in tuple(task.spec.inputs) + tuple(task.spec.outputs):
-            if data.name not in payloads:
-                payloads[data.name] = data.export_payload()
+            if data.name in payloads:
+                continue
+            key = (region_index, data.name)
+            if shipped.get(key) == data.version:
+                # Unchanged since the last shipment to this worker; its
+                # copy already holds identical bytes.  (Cells a body ran
+                # against on this slot are forgotten when the run ends,
+                # so worker-local dirt can never satisfy this test.)
+                skipped += 1
+                continue
+            payloads[data.name] = data.export_payload()
+            shipped[key] = data.version
         counts = {name: count.export_state()
                   for name, count in region.counts.items()}
         self._inboxes[slot].put(
@@ -404,7 +434,7 @@ class ProcessExecutor(Executor, GuardHost):
                 "payload", region.name, task.name, "to-worker",
                 data={"bytes": sum(payload_nbytes(handle)
                                    for handle in payloads.values()),
-                      "cells": len(payloads)})
+                      "cells": len(payloads), "skipped": skipped})
         self._maybe_kill_worker(region, task, slot)
 
     def _maybe_kill_worker(self, region: FluidRegion, task: FluidTask,
@@ -425,17 +455,41 @@ class ProcessExecutor(Executor, GuardHost):
     # ----------------------------------------------------- event handling
 
     def _drain_events(self) -> None:
-        try:
-            message = self._outbox.get(timeout=self.poll_interval)
-        except queue_module.Empty:
+        if not self._await_activity():
             return
-        self._apply_event(message)
         while True:
             try:
                 message = self._outbox.get_nowait()
             except queue_module.Empty:
                 return
             self._apply_event(message)
+
+    def _await_activity(self) -> bool:
+        """Block until something happened: a worker message landed on the
+        outbox, or a busy worker's process died (its sentinel became
+        ready).  Event-driven — the old timed-``get`` spin remains only
+        as a fallback for interpreters whose ``Queue`` lacks the
+        ``_reader`` connection.  Returns True when the outbox may hold
+        messages; the ``fallback_interval`` bound keeps the caller's
+        deadline check live even if no event ever arrives."""
+        reader = getattr(self._outbox, "_reader", None)
+        if reader is None:  # pragma: no cover - non-CPython Queue layout
+            try:
+                message = self._outbox.get(timeout=self.poll_interval)
+            except queue_module.Empty:
+                return False
+            self._apply_event(message)
+            return True
+        from multiprocessing.connection import wait as connection_wait
+
+        sentinels = [self._processes[slot].sentinel
+                     for slot in self._slot_task]
+        try:
+            ready = connection_wait([reader] + sentinels,
+                                    timeout=self.fallback_interval)
+        except OSError:  # pragma: no cover - raced a worker teardown
+            return False
+        return reader in ready
 
     def _apply_event(self, message: Tuple) -> None:
         kind, slot, region_index, task_index = message[:4]
@@ -462,7 +516,15 @@ class ProcessExecutor(Executor, GuardHost):
                 self._apply_payloads(run.region, message[5])
             self._replay_counts(run.region, message[4])
             return
-        # Terminal events give the worker slot back.
+        # Terminal events give the worker slot back.  Forget the run's
+        # output cells from the slot's shipped-version memo: the body
+        # mutated its local copies, and a cancelled/errored run dirties
+        # them *without* a parent-side version bump, so equality of
+        # versions must not be trusted for them on the next dispatch.
+        shipped = self._shipped.get(slot)
+        if shipped is not None:
+            for data in task.spec.outputs:
+                shipped.pop((region_index, data.name), None)
         self._slot_task.pop(slot, None)
         self._cancel_flags[slot] = 0
         self._idle.append(slot)

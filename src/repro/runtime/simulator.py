@@ -281,6 +281,9 @@ class SimExecutor(Executor, GuardHost):
             task.stats.finish(self._now)
         self._record("region-done", run.region.name, "",
                      f"makespan={run.region.stats.makespan:.3f}")
+        if self._bus is not None:
+            from .executor import emit_memo_summary
+            emit_memo_summary(self._bus, run.region)
         self._try_admissions()
 
     # ----------------------------------------------------------- guards

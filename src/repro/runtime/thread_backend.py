@@ -25,7 +25,7 @@ from ..core.guard import Coordinator, GuardHost, ModulationPolicy
 from ..core.region import FluidRegion
 from ..core.states import TaskState
 from ..core.task import FluidTask
-from .executor import Executor, RunResult
+from .executor import Executor, RunResult, emit_memo_summary
 
 
 class _NotifyingSink(UpdateSink):
@@ -46,10 +46,12 @@ class ThreadExecutor(Executor, GuardHost):
 
     def __init__(self, modulation: Optional[ModulationPolicy] = None,
                  poll_interval: float = 0.002,
+                 fallback_interval: Optional[float] = None,
                  timeout: float = 60.0,
                  cancel_first_runs: bool = False,
                  policy: Optional[object] = None,
-                 telemetry: Optional[object] = None):
+                 telemetry: Optional[object] = None,
+                 event_wakeups: bool = True):
         self.modulation = modulation
         #: Optional repro.telemetry.Telemetry; all publish points run
         #: under the executor lock, satisfying the bus serialization
@@ -58,6 +60,21 @@ class ThreadExecutor(Executor, GuardHost):
         self._bus = telemetry.bus if telemetry is not None else None
         self.cancel_first_runs = cancel_first_runs
         self.poll_interval = poll_interval
+        #: Guards are woken by events — count publishes, data-cell bumps
+        #: (Coordinator.enable_update_wakeups), scheduled re-runs and
+        #: task completions all notify the condition — so the timed
+        #: waits are a pure safety net, much coarser than the old
+        #: poll_interval wake tick.
+        self.fallback_interval = (fallback_interval
+                                  if fallback_interval is not None
+                                  else max(poll_interval * 25, 0.05))
+        #: ``event_wakeups=False`` reverts to the legacy polling wake
+        #: mechanism (no data-cell subscriptions; guards rediscover
+        #: state on fallback ticks) — kept for A/B benchmarking of the
+        #: event-driven runtime, not for production use.  Pair it with
+        #: ``fallback_interval=poll_interval`` for the historical
+        #: cadence.
+        self.event_wakeups = event_wakeups
         self.timeout = timeout
         #: SchedLab schedule policy.  Real threads cannot be ordered
         #: deterministically, so the policy contributes (a) seeded
@@ -67,6 +84,7 @@ class ThreadExecutor(Executor, GuardHost):
         self.policy = policy
         self._lock = threading.RLock()
         self._condition = threading.Condition(self._lock)
+        self._stop = threading.Event()
         self._submissions: List[Tuple[FluidRegion, Tuple[FluidRegion, ...]]] = []
         self._done_regions: set = set()
         self._run_events: Dict[int, threading.Event] = {}
@@ -108,7 +126,7 @@ class ThreadExecutor(Executor, GuardHost):
                         raise self._body_error
                     if len(self._done_regions) == len(self._submissions):
                         break
-                    self._condition.wait(self.poll_interval * 10)
+                    self._condition.wait(self.fallback_interval)
                 if time.perf_counter() > deadline:
                     raise SchedulerError(
                         f"thread backend timed out after {self.timeout}s: "
@@ -116,6 +134,10 @@ class ThreadExecutor(Executor, GuardHost):
             for thread in self._threads:
                 thread.join(self.timeout)
         finally:
+            # Release guard threads parked in an injected jitter delay:
+            # shutdown (normal, timeout or body error) must not wait for
+            # a SchedLab sleep to run out.
+            self._stop.set()
             if self.telemetry is not None:
                 # One worker: the GIL serializes the actual computation.
                 self.telemetry.run_finished(self.now(), 1, now=self.now())
@@ -129,7 +151,21 @@ class ThreadExecutor(Executor, GuardHost):
         return time.perf_counter() - self._epoch
 
     def schedule_run(self, task: FluidTask) -> None:
+        # Called with the executor lock held (Coordinator serialization
+        # contract), so the waiting guard cannot be between its
+        # event-check and its condition wait: setting the event and
+        # notifying under the same lock closes the lost-wakeup window.
         self._run_events[id(task)].set()
+        self._condition.notify_all()
+
+    def cell_updated(self, data) -> None:
+        """A task body bumped (or finalized) a watched data cell: poke
+        guards blocked in START_CHECK/W so valves over data contents are
+        re-checked now, not at the next fallback tick.  (No injected
+        jitter here: ``on_final`` watchers fire with the lock already
+        held, where a SchedLab sleep would stall every guard.)"""
+        with self._lock:
+            self._condition.notify_all()
 
     def task_completed(self, task: FluidTask) -> None:
         region = task.region
@@ -142,6 +178,7 @@ class ThreadExecutor(Executor, GuardHost):
                 self._bus.emit(
                     "sched", region.name, "", "region-done",
                     data={"detail": f"makespan={region.stats.makespan:.3f}"})
+                emit_memo_summary(self._bus, region)
         self._condition.notify_all()
 
     def admit_dynamic_task(self, region: FluidRegion,
@@ -154,6 +191,8 @@ class ThreadExecutor(Executor, GuardHost):
         with self._lock:
             task.stats.enter(TaskState.INIT, self.now())
             self._run_events[id(task)] = threading.Event()
+            if self.event_wakeups:
+                coordinator.enable_update_wakeups()
             if self._bus is not None:
                 self._bus.emit("sched", region.name, task.name, "spawn",
                                data={"detail": "dynamic"})
@@ -171,6 +210,8 @@ class ThreadExecutor(Executor, GuardHost):
         coordinator = Coordinator(self, graph, modulation=self.modulation,
                                   cancel_first_runs=self.cancel_first_runs,
                                   policy=self.policy, telemetry=self._bus)
+        if self.event_wakeups:
+            coordinator.enable_update_wakeups()
         self._coordinators[id(region)] = coordinator
         if self._bus is not None:
             self._bus.emit("sched", region.name, "", "launch",
@@ -192,12 +233,15 @@ class ThreadExecutor(Executor, GuardHost):
         The jitter amounts come from the policy's PRNG, so a seed sweep
         explores a diverse (if not replayable) set of real
         interleavings; with no policy this is a no-op on the hot path.
+        Sleeps on the executor's stop event, not the wall clock, so
+        shutdown (run() returning, a timeout, a body error) interrupts
+        an in-flight delay instead of hanging for its full length.
         """
         if self.policy is None:
             return
         delay = self.policy.jitter(point)
         if delay > 0.0:
-            time.sleep(delay)
+            self._stop.wait(delay)
 
     def _guard_main(self, task: FluidTask, coordinator: Coordinator) -> None:
         """The per-task guard: Figure 5 driven by a real thread."""
@@ -205,9 +249,14 @@ class ThreadExecutor(Executor, GuardHost):
         with self._lock:
             if task.state is TaskState.INIT:
                 task.transition(TaskState.START_CHECK, self.now())
+            # The valve re-test and the wait both happen under the lock,
+            # and every wake source (count publish, data bump, rerun,
+            # completion) notifies under the same lock, so a bump between
+            # the check and the wait cannot be lost; the timeout is a
+            # pure fallback.
             while task.state is TaskState.START_CHECK and \
                     not task.start_valves_satisfied():
-                self._condition.wait(self.poll_interval)
+                self._condition.wait(self.fallback_interval)
         run_event = self._run_events[id(task)]
         while True:
             self._sleep_jitter(f"wake:{task.name}")
@@ -218,12 +267,16 @@ class ThreadExecutor(Executor, GuardHost):
                     task.transition(TaskState.RUNNING, self.now())
                 elif task.state in (TaskState.WAITING, TaskState.DEP_STALLED):
                     if not run_event.is_set():
-                        self._condition.wait(self.poll_interval)
+                        # schedule_run sets the event and notifies under
+                        # this lock, so the re-test on wake cannot miss
+                        # a poke (lost-wakeup audit); the timeout is a
+                        # fallback only.
+                        self._condition.wait(self.fallback_interval)
                         continue
                     run_event.clear()
                     task.transition(TaskState.RUNNING, self.now())
                 else:  # pragma: no cover - defensive
-                    self._condition.wait(self.poll_interval)
+                    self._condition.wait(self.fallback_interval)
                     continue
                 if self._bus is not None:
                     self._bus.emit(

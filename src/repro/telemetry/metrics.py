@@ -15,6 +15,8 @@ Counter catalogue
 ========================================  =====================================
 ``valve.start.pass`` / ``.fail``          start-valve set evaluations by verdict
 ``valve.end.pass`` / ``.fail``            end-valve (quality) evaluations
+``valve.checks.evaluated``                individual valve recomputations
+``valve.checks.skipped``                  checks answered from the memo cache
 ``tasks.runs``                            bodies started (RUNNING entries)
 ``tasks.completed``                       tasks that reached COMPLETE
 ``tasks.reexecutions``                    guard-scheduled re-runs
@@ -31,6 +33,8 @@ Counter catalogue
 ``process.payload_bytes_from_workers``    snapshot bytes flushed back
 ``process.payload_messages``              payload-carrying IPC messages
 ``process.dispatches``                    bodies dispatched to worker slots
+``process.payload_cells_skipped``         dispatch cells elided (delta export)
+``process.payload_rebinds``               apply_payload container rebinds
 ``trace.dropped_events``                  ring-buffer drops in the Trace
 ========================================  =====================================
 
@@ -54,12 +58,14 @@ METRICS_SCHEMA = "repro-telemetry-metrics/1"
 COUNTER_CATALOGUE = (
     "valve.start.pass", "valve.start.fail",
     "valve.end.pass", "valve.end.fail",
+    "valve.checks.evaluated", "valve.checks.skipped",
     "tasks.runs", "tasks.completed", "tasks.reexecutions",
     "tasks.early_terminations", "tasks.quality_failures",
     "tasks.failed_runs", "tasks.dep_stalls", "tasks.spawned",
     "time.running", "time.start_check", "time.waiting", "time.dep_stalled",
     "process.payload_bytes_to_workers", "process.payload_bytes_from_workers",
     "process.payload_messages", "process.dispatches",
+    "process.payload_cells_skipped", "process.payload_rebinds",
     "trace.dropped_events",
 )
 
@@ -144,6 +150,15 @@ class MetricsRegistry:
         if kind == "transition":
             self._on_transition(event)
         elif kind == "valve":
+            if event.name == "memo":
+                # Per-region memoization summary emitted once at region
+                # completion (memo-answered checks publish no per-call
+                # event), not a verdict.
+                self.inc("valve.checks.evaluated",
+                         event.data.get("evaluated", 0))
+                self.inc("valve.checks.skipped",
+                         event.data.get("skipped", 0))
+                return
             verdict = "pass" if event.data.get("result") else "fail"
             self.inc(f"valve.{event.name}.{verdict}")
             latency = event.data.get("latency")
@@ -155,11 +170,19 @@ class MetricsRegistry:
             if event.name == "spawn":
                 self.inc("tasks.spawned")
         elif kind == "payload":
+            if event.name == "rebound":
+                # apply_payload rebound an aliasable container instead of
+                # copying in place (see core/data.py): a contract-hazard
+                # diagnostic, not payload traffic.
+                self.inc("process.payload_rebinds")
+                return
             direction = ("to_workers" if event.name == "to-worker"
                          else "from_workers")
             self.inc(f"process.payload_bytes_{direction}",
                      event.data.get("bytes", 0))
             self.inc("process.payload_messages")
+            self.inc("process.payload_cells_skipped",
+                     event.data.get("skipped", 0))
         elif kind == "worker":
             self._on_worker(event)
 

@@ -144,3 +144,151 @@ class TestStatsParity:
             for task in region.tasks:
                 assert task.stats.visits[TaskState.RUNNING] >= 1
                 assert task.stats.visits[TaskState.COMPLETE] == 1
+
+
+# ---------------------------------------------------------------- memoization
+
+def make_cross_wake(n_a=8, n_b=60, pace=0.0, name=None):
+    """Two producers, one consumer gated on both counts.
+
+    Once the fast producer (``a``) finishes, every wakeup caused by the
+    slow producer's count re-tests the already-frozen ``a`` valve — the
+    workload that valve memoization exists to short-circuit.  ``pace``
+    adds a real sleep per ``b`` element so the consumer guard observes
+    individual publishes instead of coalescing them.
+    """
+    import time as _time
+
+    from repro import FluidRegion, PercentValve
+    from repro.core.valves import DataFinalValve
+
+    class CrossWake(FluidRegion):
+        def build(self):
+            src = self.input_data("src", list(range(max(n_a, n_b))))
+            go = self.add_data("go", 0)
+            a = self.add_array("a", [0] * n_a)
+            b = self.add_array("b", [0] * n_b)
+            out = self.add_array("out", [0] * n_b)
+            ct_a = self.add_count("ct_a")
+            ct_b = self.add_count("ct_b")
+
+            def header(ctx):
+                go.write(1)
+                yield 1.0
+
+            def produce_a(ctx):
+                data = src.read()
+                for i in range(n_a):
+                    a[i] = data[i] * 2
+                    ct_a.add()
+                    yield 1.0
+
+            def produce_b(ctx):
+                data = src.read()
+                for i in range(n_b):
+                    if pace:
+                        _time.sleep(pace)
+                    b[i] = data[i] * 3
+                    ct_b.add()
+                    yield 1.0
+
+            def consume(ctx):
+                for i in range(n_b):
+                    out[i] = b[i] + (a[i % n_a] if n_a else 0)
+                    yield 1.0
+
+            self.add_task("header", header, inputs=[src], outputs=[go])
+            self.add_task("produce_a", produce_a,
+                          start_valves=[DataFinalValve(go)],
+                          inputs=[go, src], outputs=[a])
+            self.add_task("produce_b", produce_b,
+                          start_valves=[DataFinalValve(go)],
+                          inputs=[go, src], outputs=[b])
+            self.add_task("consume", consume,
+                          start_valves=[PercentValve(ct_a, 1.0, n_a),
+                                        PercentValve(ct_b, 1.0, n_b)],
+                          inputs=[a, b], outputs=[out])
+
+    return CrossWake(name)
+
+
+def cross_wake_expected(n_a=8, n_b=60):
+    return [3 * i + 2 * (i % n_a) for i in range(n_b)]
+
+
+def _valve_counters(region):
+    return (sum(v.checks for v in region.valves),
+            sum(v.checks_skipped for v in region.valves))
+
+
+class TestMemoizationParity:
+    """Valve memoization must never change results, only skip work."""
+
+    def _run_memo(self, runner, builder, memo):
+        from repro.core.valves import set_memoization
+
+        previous = set_memoization(memo)
+        try:
+            return runner(builder())
+        finally:
+            set_memoization(previous)
+
+    def test_sim_kmeans_invariant(self):
+        from repro.apps.kmeans import KMeansApp
+        from repro.workloads import synthetic_image
+
+        def build():
+            return KMeansApp(synthetic_image(20, 20, diversity=3, noise=6.0,
+                                             seed=3),
+                             num_clusters=3, epochs=3)
+
+        runs = {memo: self._run_memo(lambda app: app.run_fluid(),
+                                     build, memo)
+                for memo in (False, True)}
+        assert runs[False].makespan == runs[True].makespan
+        assert runs[False].error == runs[True].error
+
+    def test_sim_bellman_ford_invariant(self):
+        import numpy as np
+
+        from repro.apps.bellman_ford import BellmanFordApp
+        from repro.workloads import random_graph
+
+        def build():
+            return BellmanFordApp(random_graph(200, 800, seed=13),
+                                  iterations=4)
+
+        runs = {memo: self._run_memo(lambda app: app.run_fluid(),
+                                     build, memo)
+                for memo in (False, True)}
+        assert runs[False].makespan == runs[True].makespan
+        assert np.array_equal(np.asarray(runs[False].output),
+                              np.asarray(runs[True].output))
+
+    def test_thread_fewer_evaluations_same_output(self):
+        results = {}
+        for memo in (False, True):
+            region = self._run_memo(
+                run_threads, lambda: make_cross_wake(pace=0.001), memo)
+            assert region.output("out") == cross_wake_expected()
+            results[memo] = _valve_counters(region)
+        checks_off, skipped_off = results[False]
+        checks_on, skipped_on = results[True]
+        assert skipped_off == 0
+        # With memoization on, a strict subset of the same wakeup-driven
+        # check() calls is actually evaluated.
+        assert skipped_on > 0
+        assert checks_on < checks_on + skipped_on
+
+    def test_process_fewer_evaluations_same_output(self):
+        results = {}
+        for memo in (False, True):
+            region = self._run_memo(
+                run_process, lambda: make_cross_wake(), memo)
+            assert region.output("out") == cross_wake_expected()
+            results[memo] = _valve_counters(region)
+        checks_off, skipped_off = results[False]
+        checks_on, skipped_on = results[True]
+        assert skipped_off == 0
+        assert skipped_on > 0
+        assert checks_on < checks_off

@@ -146,3 +146,67 @@ class TestScalar:
         s.write(2.5)
         assert s.read() == 2.5
         assert isinstance(s, FluidData)
+
+
+class TestPayloadRebind:
+    """apply_payload rebind telemetry (docs/api.md contract)."""
+
+    @staticmethod
+    def _watched(value):
+        from types import SimpleNamespace
+
+        from repro.telemetry.bus import TelemetryBus
+
+        bus = TelemetryBus()
+        events = []
+        bus.subscribe(events.append)
+        d = FluidData("buf", value)
+        d.region = SimpleNamespace(telemetry=bus, name="r")
+        return d, events
+
+    def test_container_rebind_emits_event(self):
+        d, events = self._watched([1, 2, 3])
+        d.apply_payload((1, 2, 3, 4))      # type change: cannot copy
+        rebounds = [e for e in events
+                    if e.kind == "payload" and e.name == "rebound"]
+        assert len(rebounds) == 1
+        assert rebounds[0].data["cell"] == "buf"
+        assert rebounds[0].data["from_type"] == "list"
+        assert rebounds[0].data["to_type"] == "tuple"
+        assert d.read() == (1, 2, 3, 4)
+
+    def test_in_place_copy_is_silent(self):
+        d, events = self._watched([1, 2, 3])
+        d.apply_payload([4, 5, 6, 7])      # lists copy in place (resize)
+        assert not [e for e in events if e.name == "rebound"]
+        assert d.read() == [4, 5, 6, 7]
+
+    def test_scalar_rebind_is_silent(self):
+        d, events = self._watched(7)
+        d.apply_payload(8)                 # scalars always rebind: normal
+        assert not [e for e in events if e.name == "rebound"]
+
+    def test_ndarray_shape_change_emits_event(self):
+        np = pytest.importorskip("numpy")
+        d, events = self._watched(np.zeros(3))
+        d.apply_payload(np.zeros(4))
+        rebounds = [e for e in events if e.name == "rebound"]
+        assert len(rebounds) == 1
+        assert rebounds[0].data["from_shape"] == (3,)
+        assert rebounds[0].data["to_shape"] == (4,)
+
+    def test_no_region_no_crash(self):
+        d = FluidData("buf", [1, 2])
+        d.apply_payload((1, 2, 3))
+        assert d.read() == (1, 2, 3)
+
+    def test_rebind_feeds_metrics_counter(self):
+        from types import SimpleNamespace
+
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
+        d = FluidData("buf", [1, 2])
+        d.region = SimpleNamespace(telemetry=telemetry.bus, name="r")
+        d.apply_payload((1, 2, 3))
+        assert telemetry.metrics.counters["process.payload_rebinds"] == 1

@@ -98,3 +98,96 @@ class TestSyncApi:
         executor.submit(region)
         with pytest.raises(SchedulerError):
             sync(region, executor=executor, timeout=0.05)
+
+
+class _ConstantJitterPolicy:
+    """Minimal SchedLab-style policy stub: a fixed delay at every point."""
+
+    def __init__(self, delay):
+        self.delay = delay
+
+    def begin_run(self):
+        pass
+
+    def jitter(self, point):
+        return self.delay
+
+    def order(self, point, keys):
+        return list(range(len(keys)))
+
+
+class TestEventDrivenWakeups:
+    """Guards must be woken by events, not fallback polls.
+
+    Regression guard for the event-driven rework: with a fallback
+    interval far longer than the whole workload, progress can only come
+    from count-publish / data-bump / schedule_run notifications.  Before
+    the rework these runs took at least one fallback tick per guard
+    decision and would blow the wall-clock budget below.
+    """
+
+    def test_pipeline_completes_without_polling(self):
+        import time
+
+        region = make_pipeline(n=30, exact_quality=True)
+        start = time.perf_counter()
+        run_threads(region, fallback_interval=10.0, timeout=30)
+        elapsed = time.perf_counter() - start
+        assert region.output("out") == pipeline_expected(30)
+        assert elapsed < 5.0, \
+            f"event wakeups missing: {elapsed:.1f}s (one 10s fallback tick" \
+            " should never be needed)"
+
+    def test_chain_completes_without_polling(self):
+        import time
+
+        region = make_chain(depth=3, n=20, exact_quality=True)
+        start = time.perf_counter()
+        run_threads(region, fallback_interval=10.0, timeout=30)
+        elapsed = time.perf_counter() - start
+        assert region.output("a2") == chain_expected(3, 20)
+        assert elapsed < 5.0
+
+    def test_no_lost_wakeup_under_seeded_jitter(self):
+        # Satellite audit: check-then-wait must re-test under the lock.
+        # Seeded jitter widens the window between a valve flipping and
+        # the guard parking; with the huge fallback interval a single
+        # lost notification would stall the run past the assertion.
+        import time
+
+        from repro.schedlab.policy import SeededRandomPolicy
+
+        for seed in (1, 7, 23):
+            region = make_pipeline(n=20, exact_quality=True,
+                                   name=f"jit{seed}")
+            policy = SeededRandomPolicy(seed=seed, jitter_scale=0.002)
+            start = time.perf_counter()
+            run_threads(region, policy=policy, fallback_interval=10.0,
+                        timeout=30)
+            elapsed = time.perf_counter() - start
+            assert region.output("out") == pipeline_expected(20)
+            assert elapsed < 5.0, f"seed {seed} stalled: {elapsed:.1f}s"
+
+
+class TestJitterShutdown:
+    def test_stop_event_interrupts_jitter_sleep(self):
+        # Satellite regression: _sleep_jitter used time.sleep, which
+        # ignored shutdown; it must park on the executor's stop event.
+        import threading
+        import time
+
+        executor = ThreadExecutor(policy=_ConstantJitterPolicy(30.0))
+        sleeper = threading.Thread(
+            target=executor._sleep_jitter, args=("wake:test",), daemon=True)
+        start = time.perf_counter()
+        sleeper.start()
+        time.sleep(0.05)
+        executor._stop.set()
+        sleeper.join(5.0)
+        assert not sleeper.is_alive(), "jitter sleep ignored shutdown"
+        assert time.perf_counter() - start < 5.0
+
+    def test_run_sets_stop_event(self):
+        region = make_pipeline(n=10, exact_quality=True)
+        executor, _result = run_threads(region)
+        assert executor._stop.is_set()

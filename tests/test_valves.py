@@ -38,10 +38,25 @@ class TestCountValve:
             CountValve(None, threshold=1)
 
     def test_check_counter_increments(self):
+        # With memoization (the default) a repeat check against an
+        # unchanged count is answered from the cached verdict.
         valve = CountValve(Count("ct"), threshold=1)
         valve.check()
         valve.check()
-        assert valve.checks == 2
+        assert valve.checks == 1
+        assert valve.checks_skipped == 1
+
+    def test_check_counter_increments_memo_off(self):
+        from repro.core.valves import set_memoization
+        previous = set_memoization(False)
+        try:
+            valve = CountValve(Count("ct"), threshold=1)
+            valve.check()
+            valve.check()
+            assert valve.checks == 2
+            assert valve.checks_skipped == 0
+        finally:
+            set_memoization(previous)
 
     def test_init_rebinds(self):
         valve = CountValve(Count("old"), threshold=1)
@@ -219,4 +234,142 @@ class TestOtherValves:
         valve = DataFinalValve(d)
         assert not valve.check()
         d.mark_final(precise=True)
+        assert valve.check()
+
+
+class TestMemoization:
+    def test_count_update_invalidates(self):
+        ct = Count("ct")
+        valve = CountValve(ct, threshold=2)
+        assert not valve.check()
+        assert not valve.check()          # memo-answered
+        ct.add(2)                          # token changes with updates
+        assert valve.check()
+        assert valve.checks == 2
+        assert valve.checks_skipped == 1
+
+    def test_tighten_invalidates(self):
+        ct = Count("ct")
+        ct.add(5)
+        valve = CountValve(ct, threshold=4, max_threshold=10)
+        assert valve.check()
+        valve.tighten(1.0)                 # threshold now 10
+        assert not valve.check()           # recomputed, not cached True
+        assert valve.checks == 2
+
+    def test_relax_invalidates(self):
+        ct = Count("ct")
+        ct.add(5)
+        valve = CountValve(ct, threshold=4, max_threshold=10)
+        valve.tighten(1.0)
+        assert not valve.check()
+        valve.relax_to_base()
+        assert valve.check()
+
+    def test_count_reset_invalidates(self):
+        # reset() leaves updates at 0 again, so only the generation
+        # counter distinguishes the fresh state from the original one.
+        ct = Count("ct")
+        valve = CountValve(ct, threshold=1)
+        assert not valve.check()
+        ct.add(1)
+        assert valve.check()
+        ct.reset()
+        assert not valve.check()
+
+    def test_predicate_never_memoized(self):
+        calls = {"n": 0}
+
+        def pred():
+            calls["n"] += 1
+            return True
+
+        valve = PredicateValve(pred)
+        valve.check()
+        valve.check()
+        assert calls["n"] == 2
+        assert valve.checks == 2
+        assert valve.checks_skipped == 0
+
+    def test_data_final_valve_memoized(self):
+        d = FluidData("d", [0, 0])
+        valve = DataFinalValve(d)
+        assert not valve.check()
+        assert not valve.check()
+        assert valve.checks_skipped == 1
+        d.write([1, 1])                    # version bump invalidates
+        assert not valve.check()
+        d.mark_final(precise=True)         # finality flip invalidates
+        assert valve.check()
+        assert valve.checks == 3
+
+    def test_convergence_history_invalidates(self):
+        ct = Count("score")
+        valve = ConvergenceValve(ct, window=2, min_updates=1)
+        assert not valve.check()
+        assert not valve.check()
+        assert valve.checks_skipped == 1
+        for value in (10.0, 10.0, 10.0):
+            ct.set(value)
+        assert valve.check()               # recomputed: history grew
+
+    def test_stability_history_invalidates(self):
+        ct = Count("changed")
+        valve = StabilityValve(ct, total=100, epsilon=0.01, rounds=2)
+        assert not valve.check()
+        assert not valve.check()
+        assert valve.checks_skipped == 1
+        ct.set(0)
+        ct.set(0)
+        assert valve.check()
+
+    def test_invalidate_memo_forces_recompute(self):
+        valve = CountValve(Count("ct"), threshold=1)
+        valve.check()
+        valve.invalidate_memo()
+        valve.check()
+        assert valve.checks == 2
+
+    def test_set_memoization_returns_previous(self):
+        from repro.core.valves import memoization_enabled, set_memoization
+
+        assert memoization_enabled()
+        assert set_memoization(False) is True
+        try:
+            assert not memoization_enabled()
+            assert set_memoization(False) is False
+        finally:
+            set_memoization(True)
+
+
+class TestDeclaredFailFast:
+    def test_check_before_init_raises(self):
+        valve = CountValve.declared("v1")
+        with pytest.raises(ValveError, match="before init"):
+            valve.check()
+
+    def test_tighten_before_init_raises(self):
+        valve = CountValve.declared("v1")
+        with pytest.raises(ValveError, match="before init"):
+            valve.tighten(0.5)
+
+    def test_relax_before_init_raises(self):
+        valve = CountValve.declared("v1")
+        with pytest.raises(ValveError, match="before init"):
+            valve.relax_to_base()
+
+    def test_data_final_declared_fail_fast(self):
+        valve = DataFinalValve.declared("v2")
+        with pytest.raises(ValveError, match="before init"):
+            valve.check()
+        valve.init(FluidData("d", 0))
+        assert not valve.check()
+
+    def test_init_enables_full_lifecycle(self):
+        ct = Count("ct")
+        ct.add(3)
+        valve = CountValve.declared("v1").init(ct, 2, max_threshold=5)
+        assert valve.check()
+        valve.tighten(1.0)
+        valve.relax_to_base()
         assert valve.check()

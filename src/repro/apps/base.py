@@ -115,8 +115,8 @@ class FluidApp:
                   trace: bool = False,
                   backend: str = "sim",
                   telemetry: Optional[Any] = None,
-                  backend_options: Optional[Dict[str, Any]] = None
-                  ) -> AppRun:
+                  backend_options: Optional[Dict[str, Any]] = None,
+                  scheduler: Optional[Any] = None) -> AppRun:
         """Execute the fluidized app on the chosen backend.
 
         ``backend="sim"`` (the default) reports makespans in virtual
@@ -134,6 +134,12 @@ class FluidApp:
         (e.g. ``{"fallback_interval": 0.002}`` to bench the legacy
         polling wake cadence); it is ignored on the simulator, whose
         knobs are explicit parameters here.
+
+        ``scheduler`` selects a :mod:`repro.sched` ready-queue
+        discipline — a spec string (``"edf"``,
+        ``"bounded:capacity=8,inner=priority"``), a
+        :class:`~repro.sched.Scheduler` instance, or ``None`` for the
+        paper-faithful FCFS default (see docs/schedulers.md).
         """
         if threshold is None:
             threshold = self.default_threshold
@@ -152,12 +158,13 @@ class FluidApp:
                            else DEFAULT_OVERHEADS),
                 modulation=modulation, trace=trace,
                 cancel_first_runs=self.cancel_first_runs,
-                telemetry=telemetry)
+                telemetry=telemetry, scheduler=scheduler)
         else:
             executor = make_executor(
                 backend, modulation=modulation,
                 cancel_first_runs=self.cancel_first_runs,
-                telemetry=telemetry, **(backend_options or {}))
+                telemetry=telemetry, scheduler=scheduler,
+                **(backend_options or {}))
         plan.submit_to(executor)
         result = executor.run()
         output = self.extract_output(plan)

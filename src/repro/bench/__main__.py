@@ -38,7 +38,7 @@ from .reporting import render_series, render_table
 
 def collect_figure6_rows(only_app=None, quick=False, telemetry=None,
                          fluid_backend="sim", repeat=1,
-                         backend_options=None):
+                         backend_options=None, scheduler=None):
     """Run the Figure-6 matrix; return the list of BenchRow objects."""
     rows = []
     telemetry_used = False
@@ -47,6 +47,8 @@ def collect_figure6_rows(only_app=None, quick=False, telemetry=None,
             continue
         for input_name, factory in inputs.items():
             extra = {}
+            if scheduler is not None:
+                extra["scheduler"] = scheduler
             if fluid_backend != "sim":
                 extra["backend"] = fluid_backend
                 if backend_options:
@@ -182,7 +184,8 @@ def run_matrix(args, telemetry=None) -> int:
                                         telemetry=telemetry,
                                         fluid_backend=args.fluid_backend,
                                         repeat=repeat,
-                                        backend_options=backend_options)
+                                        backend_options=backend_options,
+                                        scheduler=args.scheduler)
     finally:
         set_memoization(previous)
     if not rows:
@@ -259,6 +262,12 @@ def main(argv=None) -> int:
                              "disabled and a poll-tick fallback — the "
                              "pre-event-driven runtime, for before/after "
                              "baselines (pair with --no-valve-memo)")
+    parser.add_argument("--scheduler", default=None, metavar="SPEC",
+                        help="repro.sched discipline for the matrix's fluid "
+                             "runs (e.g. edf, priority, "
+                             "bounded:capacity=8,inner=sew); default: the "
+                             "paper-faithful fcfs.  Figure-6 matrix only "
+                             "(sim/thread fluid backends)")
     parser.add_argument("--no-valve-memo", action="store_true",
                         help="disable valve-check memoization for the run "
                              "(for before/after efficiency comparisons)")
@@ -292,6 +301,17 @@ def main(argv=None) -> int:
         parser.error("--save-baseline/--compare apply to the matrix modes "
                      "only, not --sweep or the real-core --backend "
                      "comparison")
+    if args.scheduler is not None:
+        if args.sweep or args.backend in ("thread", "process") or \
+                args.fluid_backend == "process":
+            parser.error("--scheduler applies to the Figure-6 matrix with "
+                         "--fluid-backend sim/thread only")
+        from ..sched import make_scheduler
+
+        try:
+            make_scheduler(args.scheduler)
+        except Exception as error:  # noqa: BLE001 - surfaced as CLI error
+            parser.error(str(error))
 
     telemetry = None
     if args.trace_out or args.metrics_out:

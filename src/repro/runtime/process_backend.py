@@ -119,7 +119,8 @@ class ProcessExecutor(Executor, GuardHost):
                  cancel_first_runs: bool = False,
                  flush_interval: float = 0.01,
                  policy: Optional[object] = None,
-                 telemetry: Optional[object] = None):
+                 telemetry: Optional[object] = None,
+                 scheduler: Optional[object] = None):
         if workers is not None and workers < 1:
             raise SchedulerError("need at least one worker process")
         self.workers = workers or (os.cpu_count() or 1)
@@ -142,10 +143,19 @@ class ProcessExecutor(Executor, GuardHost):
         #: signal fan-out (all in the parent's control loop, so these
         #: decisions are deterministic even though body timing is not).
         self.policy = policy
+        #: repro.sched discipline ordering the ready queue; the default
+        #: FCFS reproduces the historical dispatch order (including the
+        #: SchedLab "dispatch"-point policy choice) bit for bit.
+        #: Imported lazily: repro.sched pulls in repro.telemetry, which
+        #: reaches back into repro.runtime at import time.
+        from ..sched import make_scheduler
+
+        self.scheduler = make_scheduler(scheduler).bind(
+            policy=policy, bus=self._bus, point="dispatch",
+            workers=self.workers)
         self._runs: List[_RegionRun] = []
         self._task_run: Dict[int, _RegionRun] = {}
         self._task_index: Dict[int, Tuple[int, int]] = {}
-        self._ready: List[FluidTask] = []
         self._queued: set = set()
         self._idle: List[int] = []
         self._slot_task: Dict[int, FluidTask] = {}
@@ -199,6 +209,7 @@ class ProcessExecutor(Executor, GuardHost):
         finally:
             self._shutdown()
             if self.telemetry is not None:
+                self.telemetry.record_scheduler(self.scheduler)
                 self.telemetry.run_finished(self.now(), self.workers,
                                             now=self.now())
         makespan = time.perf_counter() - self._epoch
@@ -367,16 +378,17 @@ class ProcessExecutor(Executor, GuardHost):
     def _enqueue(self, task: FluidTask) -> None:
         if id(task) not in self._queued:
             self._queued.add(id(task))
-            self._ready.append(task)
+            # Never sheddable: dropping a Fluid task would deadlock its
+            # region, so a bounded scheduler parks overflow instead.
+            self.scheduler.submit(task, now=self.now())
 
     def _dispatch_ready(self) -> None:
-        while self._idle and self._ready:
-            if self.policy is not None and len(self._ready) > 1:
-                index = self.policy.choose(
-                    "dispatch", [t.name for t in self._ready])
-                task = self._ready.pop(index)
-            else:
-                task = self._ready.pop(0)
+        while self._idle and self.scheduler.pending():
+            # _send_run pops the *last* idle slot, so that is the worker
+            # hint a work-stealing discipline should see.
+            task = self.scheduler.pick(now=self.now(), worker=self._idle[-1])
+            if task is None:
+                break
             self._queued.discard(id(task))
             if task.state not in (TaskState.START_CHECK, TaskState.WAITING,
                                   TaskState.DEP_STALLED):

@@ -22,9 +22,8 @@ completed and an admission slot is free.
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
-from typing import Any, Deque, Dict, Iterable, List, Optional, Set, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
 from ..core.count import Count, UpdateSink
 from ..core.errors import SchedulerError, TaskBodyError
@@ -122,7 +121,8 @@ class SimExecutor(Executor, GuardHost):
                  cancel_first_runs: bool = False,
                  trace: bool = False,
                  policy: Optional[Any] = None,
-                 telemetry: Optional[Any] = None):
+                 telemetry: Optional[Any] = None,
+                 scheduler: Optional[Any] = None):
         if cores < 1:
             raise SchedulerError("need at least one core")
         self.cores = cores
@@ -144,11 +144,20 @@ class SimExecutor(Executor, GuardHost):
         #: events, core allocation among ready tasks, and watcher wake
         #: order.  None keeps the historical deterministic FIFO order.
         self.policy = policy
+        #: Ready-queue discipline (repro.sched): a Scheduler instance or
+        #: spec string; None builds the paper-faithful FCFS, which
+        #: reproduces the pre-scheduler runtime decision-for-decision
+        #: (the SchedLab policy tie-breaks through it unchanged).
+        from ..sched import make_scheduler
+        self.scheduler = make_scheduler(scheduler).bind(
+            policy=policy, bus=self._bus, point="core", workers=cores)
 
         self._queue = EventQueue(policy)
         self._now = 0.0
-        self._free_cores = cores
-        self._ready: Deque[FluidTask] = deque()
+        # Core identities: a LIFO free pool so the scheduler's worker
+        # hints (work-stealing) name the core about to be assigned.
+        self._free_core_ids: List[int] = list(range(cores))
+        self._task_core: Dict[int, int] = {}
         self._queued: Set[int] = set()
         self._pending_updates: Optional[List[Tuple[Count, Any]]] = None
         self._sink = _BufferingSink(self)
@@ -184,6 +193,7 @@ class SimExecutor(Executor, GuardHost):
                 callback()
         finally:
             if self.telemetry is not None:
+                self.telemetry.record_scheduler(self.scheduler)
                 self.telemetry.run_finished(self._now, self.cores,
                                             now=self._now)
         incomplete = [run.region.name for run in self._runs if not run.done]
@@ -324,17 +334,19 @@ class SimExecutor(Executor, GuardHost):
             return
         if self._skip_pointless_rerun(task):
             return
-        if self._free_cores > 0:
-            self._free_cores -= 1
+        if self._free_core_ids:
             self._begin_run(task)
         else:
             self._queued.add(id(task))
-            self._ready.append(task)
+            self.scheduler.submit(task, now=self._now)
 
-    def _release_core(self) -> None:
-        self._free_cores += 1
-        while self._free_cores > 0 and self._ready:
-            task = self._pick_ready()
+    def _release_core(self, finished: FluidTask) -> None:
+        self._free_core_ids.append(self._task_core.pop(id(finished)))
+        while self._free_core_ids and self.scheduler.pending():
+            task = self.scheduler.pick(now=self._now,
+                                       worker=self._free_core_ids[-1])
+            if task is None:
+                break
             self._queued.discard(id(task))
             if task.state not in (TaskState.START_CHECK, TaskState.WAITING,
                                   TaskState.DEP_STALLED):
@@ -347,18 +359,7 @@ class SimExecutor(Executor, GuardHost):
                 # while the task sat in the queue; a later count update
                 # will re-check it.
                 continue
-            self._free_cores -= 1
             self._begin_run(task)
-
-    def _pick_ready(self) -> FluidTask:
-        """Next ready task for a freed core: FIFO, or policy-chosen."""
-        if self.policy is None or len(self._ready) <= 1:
-            return self._ready.popleft()
-        index = self.policy.choose(
-            "core", [task.name for task in self._ready])
-        task = self._ready[index]
-        del self._ready[index]
-        return task
 
     def _skip_pointless_rerun(self, task: FluidTask) -> bool:
         """Early termination before the body even starts (Section 6.1)."""
@@ -374,6 +375,7 @@ class SimExecutor(Executor, GuardHost):
 
     def _begin_run(self, task: FluidTask) -> None:
         self._queued.discard(id(task))
+        self._task_core[id(task)] = self._free_core_ids.pop()
         task.transition(TaskState.RUNNING, self._now)
         ctx = task.begin_run()
         generator = task.make_generator(ctx)
@@ -386,7 +388,7 @@ class SimExecutor(Executor, GuardHost):
         """Execute the next chunk of ``task`` and schedule its completion."""
         if task.cancel_requested:
             self._generators.pop(id(task), None)
-            self._release_core()
+            self._release_core(task)
             run = self._task_region[id(task)]
             run.coordinator.body_cancelled(task)
             return
@@ -421,7 +423,7 @@ class SimExecutor(Executor, GuardHost):
     def _body_done(self, task: FluidTask,
                    captured: List[Tuple[Count, Any]]) -> None:
         self._generators.pop(id(task), None)
-        self._release_core()
+        self._release_core(task)
         task.transition(TaskState.END_CHECK, self._now)
         run = self._task_region[id(task)]
         run.region.stats.overhead_time += self.overheads.end_check

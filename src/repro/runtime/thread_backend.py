@@ -51,7 +51,9 @@ class ThreadExecutor(Executor, GuardHost):
                  cancel_first_runs: bool = False,
                  policy: Optional[object] = None,
                  telemetry: Optional[object] = None,
-                 event_wakeups: bool = True):
+                 event_wakeups: bool = True,
+                 scheduler: Optional[object] = None,
+                 slots: Optional[int] = None):
         self.modulation = modulation
         #: Optional repro.telemetry.Telemetry; all publish points run
         #: under the executor lock, satisfying the bus serialization
@@ -82,6 +84,27 @@ class ThreadExecutor(Executor, GuardHost):
         #: diversity and (b) deterministic fan-out order inside the
         #: Coordinator (which runs under the executor lock).
         self.policy = policy
+        #: Optional repro.sched discipline.  The thread backend has no
+        #: central ready queue — guards self-schedule — so a scheduler
+        #: is enforced by gating RUNNING entry behind ``slots``
+        #: concurrent run slots; eligible guards queue with the
+        #: scheduler and are granted slots in its order.  ``None``
+        #: (default) keeps the historical ungated behaviour.
+        self.slots = slots if slots is not None else 4
+        if self.slots < 1:
+            raise SchedulerError("thread backend needs at least one slot")
+        self.scheduler = None
+        if scheduler is not None:
+            from ..sched import make_scheduler
+
+            self.scheduler = make_scheduler(scheduler).bind(
+                policy=policy, bus=self._bus, point="core",
+                workers=self.slots)
+        self._slots_free = self.slots
+        #: id(task) -> slot reserved by _grant_slots, unclaimed so far.
+        self._granted: set = set()
+        #: id(task) currently parked in the scheduler's ready queue.
+        self._slot_queued: set = set()
         self._lock = threading.RLock()
         self._condition = threading.Condition(self._lock)
         self._stop = threading.Event()
@@ -139,6 +162,7 @@ class ThreadExecutor(Executor, GuardHost):
             # a SchedLab sleep to run out.
             self._stop.set()
             if self.telemetry is not None:
+                self.telemetry.record_scheduler(self.scheduler)
                 # One worker: the GIL serializes the actual computation.
                 self.telemetry.run_finished(self.now(), 1, now=self.now())
         makespan = time.perf_counter() - self._epoch
@@ -243,6 +267,61 @@ class ThreadExecutor(Executor, GuardHost):
         if delay > 0.0:
             self._stop.wait(delay)
 
+    # ------------------------------------------------------- slot gating
+
+    def _try_acquire_slot(self, task: FluidTask) -> bool:
+        """Queue ``task`` with the scheduler and try to claim a run slot.
+
+        Called with the lock held, only when a scheduler is configured
+        and the task is otherwise eligible to run.  Every admission goes
+        through ``submit``/``pick`` so the discipline's ordering, pick
+        counts and queue-residence histogram all apply.  Executor
+        submissions are never sheddable: dropping a Fluid task would
+        deadlock its region, so a bounded scheduler parks overflow
+        instead (see repro.sched.BoundedScheduler).
+        """
+        tid = id(task)
+        if tid not in self._granted and tid not in self._slot_queued:
+            self._slot_queued.add(tid)
+            self.scheduler.submit(task, now=self.now())
+        self._grant_slots()
+        if tid in self._granted:
+            self._granted.discard(tid)
+            return True
+        return False
+
+    def _grant_slots(self) -> None:
+        """Hand free slots to the scheduler's picks (lock held).
+
+        Tasks that completed while queued (cascade completion) are
+        skipped without consuming a slot.
+        """
+        while self._slots_free > 0 and self.scheduler.pending():
+            picked = self.scheduler.pick(now=self.now(),
+                                         worker=self._slots_free - 1)
+            if picked is None:
+                break
+            self._slot_queued.discard(id(picked))
+            if picked.state is TaskState.COMPLETE:
+                continue
+            self._slots_free -= 1
+            self._granted.add(id(picked))
+        self._condition.notify_all()
+
+    def _release_slot(self) -> None:
+        """Return a slot and immediately re-grant it (lock held)."""
+        self._slots_free += 1
+        self._grant_slots()
+
+    def _drop_slot_claims(self, task: FluidTask) -> None:
+        """A guard is exiting: free any slot it was granted but never
+        claimed (lock held)."""
+        tid = id(task)
+        if tid in self._granted:
+            self._granted.discard(tid)
+            self._release_slot()
+        self._slot_queued.discard(tid)
+
     def _guard_main(self, task: FluidTask, coordinator: Coordinator) -> None:
         """The per-task guard: Figure 5 driven by a real thread."""
         self._sleep_jitter(f"guard:{task.name}")
@@ -262,8 +341,38 @@ class ThreadExecutor(Executor, GuardHost):
             self._sleep_jitter(f"wake:{task.name}")
             with self._lock:
                 if task.state is TaskState.COMPLETE:
+                    if self.scheduler is not None:
+                        self._drop_slot_claims(task)
                     return
-                if task.state is TaskState.START_CHECK:
+                if self.scheduler is not None:
+                    # Gated mode: the guard must win a run slot from the
+                    # scheduler before it may enter RUNNING.  The run
+                    # event is cleared only *after* the slot is granted,
+                    # so a poke that arrives while the guard is queued
+                    # is never lost.
+                    if task.state is TaskState.START_CHECK:
+                        eligible = task.start_valves_satisfied()
+                    elif task.state in (TaskState.WAITING,
+                                        TaskState.DEP_STALLED):
+                        eligible = run_event.is_set()
+                    else:  # pragma: no cover - defensive
+                        eligible = False
+                    if not eligible or not self._try_acquire_slot(task):
+                        self._condition.wait(self.fallback_interval)
+                        continue
+                    # Slot held: re-validate, since the state may have
+                    # moved while the guard sat in the ready queue.
+                    if task.state is TaskState.START_CHECK:
+                        task.transition(TaskState.RUNNING, self.now())
+                    elif task.state in (TaskState.WAITING,
+                                        TaskState.DEP_STALLED) and \
+                            run_event.is_set():
+                        run_event.clear()
+                        task.transition(TaskState.RUNNING, self.now())
+                    else:
+                        self._release_slot()
+                        continue
+                elif task.state is TaskState.START_CHECK:
                     task.transition(TaskState.RUNNING, self.now())
                 elif task.state in (TaskState.WAITING, TaskState.DEP_STALLED):
                     if not run_event.is_set():
@@ -286,6 +395,8 @@ class ThreadExecutor(Executor, GuardHost):
                 generator = task.make_generator(ctx)
             cancelled = self._consume(task, generator)
             with self._lock:
+                if self.scheduler is not None:
+                    self._release_slot()
                 if task.state is TaskState.COMPLETE:
                     return  # completed concurrently (cascade)
                 if cancelled:

@@ -79,6 +79,8 @@ class Outcome:
     strict: bool = False
     mutation: Optional[str] = None
     seed: Optional[int] = None
+    #: repro.sched discipline spec the run used (None = default FCFS).
+    scheduler: Optional[str] = None
     policy: Dict = field(default_factory=dict)
     #: None = the run passed every check; otherwise a failure kind such
     #: as "scheduler-error", "task-body-error:RacyOrderingBug",
@@ -106,6 +108,7 @@ class Outcome:
             "strict": self.strict,
             "mutation": self.mutation,
             "seed": self.seed,
+            "scheduler": self.scheduler,
             "policy": self.policy,
             "failure": self.failure,
             "message": self.message,
@@ -120,6 +123,8 @@ class Outcome:
             extras.append(f"seed={self.seed}")
         if self.mutation:
             extras.append(f"mutation={self.mutation}")
+        if self.scheduler:
+            extras.append(f"scheduler={self.scheduler}")
         if self.strict:
             extras.append("strict")
         suffix = (" " + " ".join(extras)) if extras else ""
@@ -159,22 +164,24 @@ def _normalize_faults(faults) -> List[dict]:
 
 def _build_executor(backend: str, policy: SchedulePolicy, *, cores: int,
                     timeout: float, workers: int, trace: bool,
-                    telemetry=None):
+                    telemetry=None, scheduler=None):
     if backend == "sim":
         from ..runtime.simulator import Overheads, SimExecutor
 
         return SimExecutor(cores=cores, overheads=Overheads.zero(),
-                           policy=policy, trace=trace, telemetry=telemetry)
+                           policy=policy, trace=trace, telemetry=telemetry,
+                           scheduler=scheduler)
     if backend == "thread":
         from ..runtime.thread_backend import ThreadExecutor
 
         return ThreadExecutor(policy=policy, timeout=timeout,
-                              telemetry=telemetry)
+                              telemetry=telemetry, scheduler=scheduler)
     if backend == "process":
         from ..runtime.process_backend import ProcessExecutor
 
         return ProcessExecutor(workers=workers, policy=policy,
-                               timeout=timeout, telemetry=telemetry)
+                               timeout=timeout, telemetry=telemetry,
+                               scheduler=scheduler)
     raise SchedulerError(
         f"unknown backend {backend!r}; expected sim, thread or process")
 
@@ -190,7 +197,8 @@ def run_scenario(scenario_name: str, *,
                  cores: int = 4,
                  timeout: float = 15.0,
                  workers: int = 2,
-                 telemetry=None) -> Outcome:
+                 telemetry=None,
+                 scheduler: Optional[str] = None) -> Outcome:
     """Execute one scenario under full SchedLab control.
 
     Every fault plan is rebuilt fresh from its serialized form, so a
@@ -198,6 +206,12 @@ def run_scenario(scenario_name: str, *,
 
     ``telemetry`` (a :class:`repro.telemetry.Telemetry`) instruments the
     run with structured metrics and a Perfetto-exportable trace.
+
+    ``scheduler`` (a :mod:`repro.sched` spec string such as ``"edf"`` or
+    ``"bounded:capacity=4"``) selects the ready-queue discipline the
+    backend runs under; SchedLab policies compose with it — the policy
+    resolves whatever tie-break freedom the discipline leaves open.  It
+    is recorded in the outcome and its replay artifact.
     """
     try:
         scenario = SCENARIOS[scenario_name]
@@ -223,6 +237,8 @@ def run_scenario(scenario_name: str, *,
 
     outcome = Outcome(scenario=scenario_name, backend=backend, strict=strict,
                       mutation=mutation, seed=seed,
+                      scheduler=(scheduler if scheduler is None
+                                 else str(scheduler)),
                       policy=inner.describe(), faults=fault_records)
     checker = InvariantChecker()
     run = scenario.fresh(strict=strict)
@@ -232,7 +248,8 @@ def run_scenario(scenario_name: str, *,
         try:
             executor = _build_executor(backend, recorder, cores=cores,
                                        timeout=timeout, workers=workers,
-                                       trace=trace, telemetry=telemetry)
+                                       trace=trace, telemetry=telemetry,
+                                       scheduler=scheduler)
             run.submit(executor)
             result = executor.run()
             outcome.makespan = result.makespan
@@ -309,6 +326,7 @@ def replay_artifact(artifact, *, trace: bool = False,
         faults=artifact.get("faults") or None,
         strict=bool(artifact.get("strict")),
         mutation=artifact.get("mutation"),
+        scheduler=artifact.get("scheduler"),
         trace=trace, cores=cores, telemetry=telemetry)
 
 
@@ -342,7 +360,8 @@ def shrink_outcome(outcome: Outcome, *, cores: int = 4,
         replayed = run_scenario(
             outcome.scenario, backend="sim",
             policy=ReplayPolicy(decisions), faults=outcome.faults or None,
-            strict=outcome.strict, mutation=outcome.mutation, cores=cores)
+            strict=outcome.strict, mutation=outcome.mutation,
+            scheduler=outcome.scheduler, cores=cores)
         return replayed.failure == target
 
     return shrink_schedule(outcome.decisions, still_fails, budget=budget)
@@ -363,6 +382,7 @@ def sweep(scenario_names: Optional[Sequence[str]] = None, *,
           cores: int = 4,
           timeout: float = 15.0,
           workers: int = 2,
+          scheduler: Optional[str] = None,
           log: Optional[Callable[[str], None]] = None) -> SweepReport:
     """Run many controlled schedules and harvest failures.
 
@@ -407,7 +427,8 @@ def sweep(scenario_names: Optional[Sequence[str]] = None, *,
         effective_strict = strict and scenario.supports_strict
         common = dict(backend=backend, faults=fault_records or None,
                       strict=effective_strict, mutation=mutation,
-                      cores=cores, timeout=timeout, workers=workers)
+                      cores=cores, timeout=timeout, workers=workers,
+                      scheduler=scheduler)
         if policy_name == "exhaustive":
             policy = ExhaustivePolicy(depth=depth)
             while policy.schedules_run < seeds:

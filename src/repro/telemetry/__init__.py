@@ -89,6 +89,19 @@ class Telemetry:
              data: Optional[Dict[str, Any]] = None) -> None:
         self.bus.emit(kind, region, task, name, ts=ts, data=data)
 
+    def record_scheduler(self, scheduler: Optional[Any]) -> None:
+        """Fold a scheduler's end-of-run snapshot into the metrics.
+
+        Executors call this (before :meth:`run_finished`) with their
+        bound :class:`repro.sched.Scheduler`; pick counts and the
+        queue-residence histogram land in the ``sched.*`` metrics
+        without publishing any bus events, so structural traces are
+        unaffected.  No-op without a metrics registry or scheduler.
+        """
+        if self.metrics is None or scheduler is None:
+            return
+        self.metrics.record_scheduler(scheduler.snapshot())
+
     def run_finished(self, makespan: float, workers: int,
                      now: Optional[float] = None) -> None:
         """Close open intervals and freeze derived gauges (idempotent)."""

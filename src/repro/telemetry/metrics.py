@@ -36,6 +36,10 @@ Counter catalogue
 ``process.payload_cells_skipped``         dispatch cells elided (delta export)
 ``process.payload_rebinds``               apply_payload container rebinds
 ``trace.dropped_events``                  ring-buffer drops in the Trace
+``sched.picks``                           scheduler pick-next decisions
+``sched.steals``                          work-stealing queue raids
+``sched.tasks_shed``                      bounded-queue rejections (dropped)
+``sched.tasks_deferred``                  bounded-queue overflow parks
 ========================================  =====================================
 
 ``time.*`` counters are in the executor's clock units (virtual cost
@@ -67,7 +71,15 @@ COUNTER_CATALOGUE = (
     "process.payload_messages", "process.dispatches",
     "process.payload_cells_skipped", "process.payload_rebinds",
     "trace.dropped_events",
+    "sched.picks", "sched.steals", "sched.tasks_shed",
+    "sched.tasks_deferred",
 )
+
+#: Bucket boundaries for the scheduler queue-residence histogram.  Wider
+#: than the valve-latency decades: residence is measured in the host's
+#: clock units (virtual cost units under the simulators, seconds under
+#: the real backends), which span several orders of magnitude.
+RESIDENCE_BOUNDS = (1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0, 1e3, 1e4)
 
 #: Guard completion reasons that count as Section-6.1 early termination.
 _EARLY_TERMINATION_REASONS = ("early-termination", "rerun-skipped")
@@ -82,16 +94,22 @@ _TIMED_STATES = {
 
 
 class Histogram:
-    """A fixed-boundary histogram (decade buckets, seconds-friendly)."""
+    """A fixed-boundary histogram (decade buckets, seconds-friendly).
+
+    ``bounds`` overrides the default valve-latency decades — the
+    scheduler queue-residence histogram uses :data:`RESIDENCE_BOUNDS`.
+    """
 
     BOUNDS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0)
 
-    def __init__(self):
+    def __init__(self, bounds: Optional[Tuple[float, ...]] = None):
+        self.bounds: Tuple[float, ...] = (
+            tuple(bounds) if bounds is not None else self.BOUNDS)
         self.count = 0
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
-        self.buckets = [0] * (len(self.BOUNDS) + 1)
+        self.buckets = [0] * (len(self.bounds) + 1)
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -99,22 +117,51 @@ class Histogram:
         self.total += value
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
-        for index, bound in enumerate(self.BOUNDS):
+        for index, bound in enumerate(self.bounds):
             if value <= bound:
                 self.buckets[index] += 1
                 return
         self.buckets[-1] += 1
 
+    def _labels(self) -> List[str]:
+        return [f"le_{bound:g}" for bound in self.bounds] + ["le_inf"]
+
     def to_dict(self) -> Dict[str, Any]:
-        labels = [f"le_{bound:g}" for bound in self.BOUNDS] + ["le_inf"]
         return {
             "count": self.count,
             "sum": self.total,
             "min": self.min,
             "max": self.max,
             "mean": (self.total / self.count) if self.count else None,
-            "buckets": dict(zip(labels, self.buckets)),
+            "buckets": dict(zip(self._labels(), self.buckets)),
         }
+
+    def merge(self, dump: Dict[str, Any]) -> None:
+        """Fold a :meth:`to_dict`-shaped dump into this histogram.
+
+        Buckets merge label-by-label when the boundary sets match;
+        otherwise the merged observations land in the overflow bucket
+        (count/sum/min/max stay exact either way).
+        """
+        count = int(dump.get("count") or 0)
+        if count <= 0:
+            return
+        self.count += count
+        self.total += float(dump.get("sum") or 0.0)
+        for field, keep in (("min", min), ("max", max)):
+            value = dump.get(field)
+            if value is None:
+                continue
+            mine = getattr(self, field)
+            setattr(self, field,
+                    value if mine is None else keep(mine, value))
+        buckets = dump.get("buckets") or {}
+        labels = self._labels()
+        if set(buckets) == set(labels):
+            for index, label in enumerate(labels):
+                self.buckets[index] += int(buckets[label])
+        else:
+            self.buckets[-1] += count
 
 
 class MetricsRegistry:
@@ -125,7 +172,8 @@ class MetricsRegistry:
             name: 0 for name in COUNTER_CATALOGUE}
         self.gauges: Dict[str, float] = {}
         self.histograms: Dict[str, Histogram] = {
-            "valve.latency": Histogram()}
+            "valve.latency": Histogram(),
+            "sched.queue_residence": Histogram(RESIDENCE_BOUNDS)}
         # (region, task) -> (state name, entry timestamp)
         self._since: Dict[Tuple[str, str], Tuple[str, float]] = {}
         # worker slot -> dispatch timestamp
@@ -169,6 +217,12 @@ class MetricsRegistry:
         elif kind == "sched":
             if event.name == "spawn":
                 self.inc("tasks.spawned")
+            elif event.name == "shed":
+                self.inc("sched.tasks_shed")
+            elif event.name == "defer":
+                self.inc("sched.tasks_deferred")
+            elif event.name == "steal":
+                self.inc("sched.steals")
         elif kind == "payload":
             if event.name == "rebound":
                 # apply_payload rebound an aliasable container instead of
@@ -224,6 +278,21 @@ class MetricsRegistry:
             started = self._busy_since.pop(slot, None)
             if started is not None:
                 self._busy_total += event.ts - started
+
+    def record_scheduler(self, snapshot: Dict[str, Any]) -> None:
+        """Fold a :meth:`repro.sched.Scheduler.snapshot` into the metrics.
+
+        Pick decisions and queue residence are recorded here, directly,
+        at end of run — not as per-pick bus events — so the default FCFS
+        scheduler adds zero events to structural traces (the golden
+        traces stay byte-identical).  Shed/steal/defer decisions *are*
+        bus events and arrive through :meth:`on_event`; they are
+        deliberately not re-counted from the snapshot.
+        """
+        self.inc("sched.picks", snapshot.get("picks", 0))
+        residence = snapshot.get("residence")
+        if residence:
+            self.histograms["sched.queue_residence"].merge(residence)
 
     # -- end of run --------------------------------------------------------
 

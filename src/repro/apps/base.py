@@ -116,7 +116,8 @@ class FluidApp:
                   backend: str = "sim",
                   telemetry: Optional[Any] = None,
                   backend_options: Optional[Dict[str, Any]] = None,
-                  scheduler: Optional[Any] = None) -> AppRun:
+                  scheduler: Optional[Any] = None,
+                  autotune: Optional[Any] = None) -> AppRun:
         """Execute the fluidized app on the chosen backend.
 
         ``backend="sim"`` (the default) reports makespans in virtual
@@ -140,6 +141,12 @@ class FluidApp:
         ``"bounded:capacity=8,inner=priority"``), a
         :class:`~repro.sched.Scheduler` instance, or ``None`` for the
         paper-faithful FCFS default (see docs/schedulers.md).
+
+        ``autotune`` enables closed-loop SLO autotuning
+        (:mod:`repro.tuning`) — a spec string such as
+        ``"accuracy_floor:target=0.9"``, a
+        :class:`~repro.tuning.ValveAutotuner` instance (single-run), or
+        ``None`` to keep thresholds static (see docs/autotuning.md).
         """
         if threshold is None:
             threshold = self.default_threshold
@@ -158,12 +165,14 @@ class FluidApp:
                            else DEFAULT_OVERHEADS),
                 modulation=modulation, trace=trace,
                 cancel_first_runs=self.cancel_first_runs,
-                telemetry=telemetry, scheduler=scheduler)
+                telemetry=telemetry, scheduler=scheduler,
+                autotune=autotune)
         else:
             executor = make_executor(
                 backend, modulation=modulation,
                 cancel_first_runs=self.cancel_first_runs,
                 telemetry=telemetry, scheduler=scheduler,
+                autotune=autotune,
                 **(backend_options or {}))
         plan.submit_to(executor)
         result = executor.run()

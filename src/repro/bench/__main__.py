@@ -38,7 +38,8 @@ from .reporting import render_series, render_table
 
 def collect_figure6_rows(only_app=None, quick=False, telemetry=None,
                          fluid_backend="sim", repeat=1,
-                         backend_options=None, scheduler=None):
+                         backend_options=None, scheduler=None,
+                         autotune=None):
     """Run the Figure-6 matrix; return the list of BenchRow objects."""
     rows = []
     telemetry_used = False
@@ -49,6 +50,10 @@ def collect_figure6_rows(only_app=None, quick=False, telemetry=None,
             extra = {}
             if scheduler is not None:
                 extra["scheduler"] = scheduler
+            if autotune is not None:
+                # A spec string: each run_fluid builds a fresh tuner
+                # (tuners are single-run objects).
+                extra["autotune"] = autotune
             if fluid_backend != "sim":
                 extra["backend"] = fluid_backend
                 if backend_options:
@@ -185,7 +190,8 @@ def run_matrix(args, telemetry=None) -> int:
                                         fluid_backend=args.fluid_backend,
                                         repeat=repeat,
                                         backend_options=backend_options,
-                                        scheduler=args.scheduler)
+                                        scheduler=args.scheduler,
+                                        autotune=args.autotune)
     finally:
         set_memoization(previous)
     if not rows:
@@ -268,6 +274,13 @@ def main(argv=None) -> int:
                              "bounded:capacity=8,inner=sew); default: the "
                              "paper-faithful fcfs.  Figure-6 matrix only "
                              "(sim/thread fluid backends)")
+    parser.add_argument("--autotune", default=None, metavar="SPEC",
+                        help="repro.tuning closed-loop autotune spec for the "
+                             "matrix's fluid runs (e.g. "
+                             "accuracy_floor:target=0.9,window=1); default: "
+                             "static valves.  Figure-6 matrix only.  For the "
+                             "SLO x controller sweep use python -m "
+                             "repro.bench.autotune_sweep")
     parser.add_argument("--no-valve-memo", action="store_true",
                         help="disable valve-check memoization for the run "
                              "(for before/after efficiency comparisons)")
@@ -310,6 +323,17 @@ def main(argv=None) -> int:
 
         try:
             make_scheduler(args.scheduler)
+        except Exception as error:  # noqa: BLE001 - surfaced as CLI error
+            parser.error(str(error))
+    if args.autotune is not None:
+        if args.sweep or args.backend in ("thread", "process") or \
+                args.fluid_backend == "process":
+            parser.error("--autotune applies to the Figure-6 matrix with "
+                         "--fluid-backend sim/thread only")
+        from ..tuning import make_autotuner
+
+        try:
+            make_autotuner(args.autotune)
         except Exception as error:  # noqa: BLE001 - surfaced as CLI error
             parser.error(str(error))
 

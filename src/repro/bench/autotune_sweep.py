@@ -1,0 +1,272 @@
+"""SLO x controller x app sweep for the closed-loop valve autotuner.
+
+``python -m repro.bench.autotune_sweep`` runs each selected app twice
+per (SLO target, controller) cell — once with static valves at the
+case's base threshold, once with a live :class:`~repro.tuning.
+ValveAutotuner` — and reports whether the tuner met the declared
+accuracy floor while beating the static makespan.  The workloads are
+deliberately *not* the standard bench suite: autotuning only has a
+lever when end valves actually fail (kmeans under a strict quality
+function) or when the base threshold is conservative enough that
+opt-in relaxation pays (segmented Bellman-Ford), so each case pins the
+regime where closed-loop control is measurable.  See
+docs/autotuning.md for the control-law contract.
+
+The output document is schema ``repro-bench-baseline/1`` — one
+workload row per run, keyed ``<app>/<input>:static`` or
+``<app>/<input>:t<target>:<controller>`` — with an extra top-level
+``autotune`` section holding per-case tuner telemetry (adjustments,
+windows, final position, the decision log).  ``--check`` turns the
+sweep into a gate: every tuned cell must record at least one
+adjustment, hold the accuracy floor, and finish faster than its
+static baseline (CI's autotune-smoke step runs ``--quick --check``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Callable, Dict, List
+
+from ..apps.base import FluidApp
+from ..apps.bellman_ford import BellmanFordApp
+from ..apps.kmeans import KMeansApp
+from ..tuning import make_autotuner
+from ..workloads.graphs import random_graph
+from ..workloads.images import synthetic_image
+from .baseline import baseline_dict
+from .harness import BenchRow, collect_region_counters
+
+
+class SweepCase:
+    """One app x input cell: factories plus its autotune spec recipe."""
+
+    def __init__(self, app_name: str, input_name: str,
+                 factory: Callable[[], FluidApp], threshold: float,
+                 specs: Dict[str, str]):
+        self.app_name = app_name
+        self.input_name = input_name
+        self.factory = factory
+        self.threshold = threshold
+        #: controller name -> spec-option tail appended after the target.
+        self.specs = specs
+
+    def spec_for(self, target: float, controller: str) -> str:
+        tail = self.specs[controller]
+        return f"accuracy_floor:target={target:g},{tail}"
+
+
+def _kmeans_cases(quick: bool) -> List[SweepCase]:
+    # quality_fraction=1.0 makes every epoch's end valve strict, so an
+    # aggressive static threshold pays re-execution churn the tuner can
+    # tighten away while keeping more overlap than full serialization.
+    def build(diversity: int, seed: int) -> Callable[[], FluidApp]:
+        def factory() -> FluidApp:
+            return KMeansApp(synthetic_image(40, 40, diversity=diversity,
+                                             seed=seed),
+                             num_clusters=5, epochs=5,
+                             quality_fraction=1.0)
+        return factory
+
+    specs = {
+        "aimd": "window=1",
+        # The strict-quality regime needs decisive steps: one failed
+        # epoch must tighten enough that the next producer finishes by
+        # its consumer's end check.
+        "hysteresis": "window=1,controller=hysteresis,gain=2.0,max_step=1.0",
+    }
+    cases = [SweepCase("kmeans", "div6", build(6, 83), 0.2, specs)]
+    if not quick:
+        cases.append(SweepCase("kmeans", "div9", build(9, 83), 0.2, specs))
+    return cases
+
+
+def _bellman_ford_cases(quick: bool) -> List[SweepCase]:
+    # Segmented chains give the tuner per-segment quality verdicts and
+    # a threshold lever that still matters after the run has started;
+    # the conservative 0.5 base threshold leaves relaxation headroom
+    # that the opt-in relax_floor lets the controller spend.
+    def build(vertices: int, edges: int, seed: int) -> Callable[[], FluidApp]:
+        def factory() -> FluidApp:
+            graph = random_graph(vertices, edges, seed=seed,
+                                 name=f"{vertices // 1000}K")
+            return BellmanFordApp(graph, iterations=8, segments=4)
+        return factory
+
+    specs = {
+        "aimd": "window=1,relax_floor=0.1,relax_step=0.35",
+        "hysteresis": ("window=1,relax_floor=0.1,"
+                       "controller=hysteresis,gain=3.0,max_step=0.35"),
+    }
+    cases = [SweepCase("bellman_ford", "1K_4K", build(1000, 4000, 11),
+                       0.5, specs)]
+    if not quick:
+        cases.append(SweepCase("bellman_ford", "2K_8K",
+                               build(2000, 8000, 7), 0.5, specs))
+    return cases
+
+
+CASE_BUILDERS = {
+    "kmeans": _kmeans_cases,
+    "bellman_ford": _bellman_ford_cases,
+}
+
+
+def _run_once(case: SweepCase, autotune=None):
+    """One fluid run of the case; returns (row suffix data, run, precise)."""
+    app = case.factory()
+    precise = app.run_precise()
+    run = app.run_fluid(threshold=case.threshold, autotune=autotune)
+    checks, skipped, reexecutions = collect_region_counters(run.regions)
+    return app, precise, run, (checks, skipped, reexecutions)
+
+
+def _make_row(app: FluidApp, input_name: str, precise, run,
+              counters) -> BenchRow:
+    checks, skipped, reexecutions = counters
+    return BenchRow(
+        app=app.name, input_name=input_name,
+        normalized_latency=run.makespan / precise.makespan,
+        normalized_accuracy=run.accuracy,
+        native_metric=run.metric_name, native_value=run.metric,
+        precise_makespan=precise.makespan, fluid_makespan=run.makespan,
+        valve_checks=checks, valve_checks_skipped=skipped,
+        reexecutions=reexecutions)
+
+
+def run_sweep(apps: List[str], targets: List[float],
+              controllers: List[str], quick: bool) -> "tuple[list, list]":
+    """Run the full grid; returns (BenchRow list, case-detail list)."""
+    rows: List[BenchRow] = []
+    details: List[dict] = []
+    for app_name in apps:
+        for case in CASE_BUILDERS[app_name](quick):
+            app, precise, static_run, static_counters = _run_once(case)
+            static_name = f"{case.input_name}:static"
+            rows.append(_make_row(app, static_name, precise, static_run,
+                                  static_counters))
+            for target in targets:
+                for controller in controllers:
+                    spec = case.spec_for(target, controller)
+                    tuner = make_autotuner(spec)
+                    app2, precise2, run, counters = _run_once(
+                        case, autotune=tuner)
+                    name = f"{case.input_name}:t{target:g}:{controller}"
+                    rows.append(_make_row(app2, name, precise2, run,
+                                          counters))
+                    snapshot = tuner.snapshot()
+                    details.append({
+                        "app": app2.name,
+                        "input": case.input_name,
+                        "workload": f"{app2.name}/{name}",
+                        "static_workload": f"{app2.name}/{static_name}",
+                        "target": target,
+                        "controller": controller,
+                        "spec": spec,
+                        "threshold": case.threshold,
+                        "static_makespan": static_run.makespan,
+                        "tuned_makespan": run.makespan,
+                        "accuracy": run.accuracy,
+                        "tuner": snapshot,
+                    })
+    return rows, details
+
+
+def check_details(details: List[dict]) -> List[str]:
+    """The --check gate: returns human-readable failures (empty = pass)."""
+    failures: List[str] = []
+    for case in details:
+        label = f"{case['workload']} ({case['spec']})"
+        if case["tuner"]["adjustments"] < 1:
+            failures.append(f"{label}: tuner made no adjustments")
+        if case["accuracy"] < case["target"]:
+            failures.append(
+                f"{label}: accuracy {case['accuracy']:.4f} below the "
+                f"declared floor {case['target']:g}")
+        if not case["tuned_makespan"] < case["static_makespan"]:
+            failures.append(
+                f"{label}: tuned makespan {case['tuned_makespan']:.1f} "
+                f"did not beat static {case['static_makespan']:.1f}")
+    return failures
+
+
+def _render(rows: List[BenchRow], details: List[dict]) -> str:
+    lines = [f"{'workload':<42} {'norm_lat':>9} {'accuracy':>9} "
+             f"{'adjust':>7} {'position':>9}"]
+    by_workload = {case["workload"]: case for case in details}
+    for row in rows:
+        case = by_workload.get(row.key)
+        adjust = str(case["tuner"]["adjustments"]) if case else "-"
+        position = (f"{case['tuner']['position']:+.2f}" if case else "-")
+        lines.append(f"{row.key:<42} {row.normalized_latency:>9.4f} "
+                     f"{row.normalized_accuracy:>9.4f} {adjust:>7} "
+                     f"{position:>9}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.autotune_sweep",
+        description="SLO target x controller x app autotuning sweep")
+    parser.add_argument("--apps", default="kmeans,bellman_ford",
+                        help="comma list from: "
+                             + ", ".join(sorted(CASE_BUILDERS)))
+    parser.add_argument("--targets", default="0.9",
+                        help="comma list of accuracy-floor targets")
+    parser.add_argument("--controllers", default="aimd,hysteresis",
+                        help="comma list of control laws to sweep")
+    parser.add_argument("--quick", action="store_true",
+                        help="one input per app (CI smoke size)")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write the repro-bench-baseline/1 document "
+                             "(with the extra 'autotune' section) here")
+    parser.add_argument("--check", action="store_true",
+                        help="fail unless every tuned cell adjusted at "
+                             "least once, held its floor, and beat the "
+                             "static makespan")
+    args = parser.parse_args(argv)
+
+    apps = [name.strip() for name in args.apps.split(",") if name.strip()]
+    for name in apps:
+        if name not in CASE_BUILDERS:
+            parser.error(f"unknown app {name!r}; expected one of "
+                         + ", ".join(sorted(CASE_BUILDERS)))
+    try:
+        targets = [float(value) for value in args.targets.split(",")
+                   if value.strip()]
+    except ValueError:
+        parser.error(f"--targets must be numbers, got {args.targets!r}")
+    controllers = [name.strip() for name in args.controllers.split(",")
+                   if name.strip()]
+    for name in controllers:
+        if name not in ("aimd", "hysteresis"):
+            parser.error(f"unknown controller {name!r}")
+
+    rows, details = run_sweep(apps, targets, controllers, args.quick)
+    print(_render(rows, details))
+
+    if args.out:
+        document = baseline_dict(rows, backend="sim", quick=args.quick,
+                                 memoization=True, app="autotune")
+        document["autotune"] = {"slo": "accuracy_floor", "cases": details}
+        with open(args.out, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nwrote {args.out} ({len(rows)} workloads, "
+              f"{len(details)} tuned cells)")
+
+    if args.check:
+        failures = check_details(details)
+        if failures:
+            print("\nautotune sweep check FAILED:", file=sys.stderr)
+            for failure in failures:
+                print(f"  - {failure}", file=sys.stderr)
+            return 1
+        print("\nautotune sweep check passed: every tuned cell "
+              "adjusted, held its floor, and beat static")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,6 +38,10 @@ class SchedulerError(FluidError):
     """The runtime could not make progress (deadlock, resource misuse)."""
 
 
+class TuningError(FluidError):
+    """A valve autotuner or its controller/SLO spec is mis-configured."""
+
+
 class TaskCancelled(FluidError):
     """Injected into a task body to realize early termination (Section 6.1)."""
 

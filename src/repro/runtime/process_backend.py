@@ -120,17 +120,29 @@ class ProcessExecutor(Executor, GuardHost):
                  flush_interval: float = 0.01,
                  policy: Optional[object] = None,
                  telemetry: Optional[object] = None,
-                 scheduler: Optional[object] = None):
+                 scheduler: Optional[object] = None,
+                 autotune: Optional[object] = None):
         if workers is not None and workers < 1:
             raise SchedulerError("need at least one worker process")
         self.workers = workers or (os.cpu_count() or 1)
         self.modulation = modulation
+        # Closed-loop SLO autotuning (repro.tuning): parent-side, like
+        # the guards — valves live in the parent, so actuations need no
+        # IPC.  A tuner needs a bus, hence the lightweight Telemetry.
+        # Imported lazily for the same cycle reason as repro.sched.
+        from ..tuning import make_autotuner
+        self.autotuner = make_autotuner(autotune)
+        if self.autotuner is not None and telemetry is None:
+            from ..telemetry import Telemetry
+            telemetry = Telemetry(metrics=False, chrome=False)
         #: Optional repro.telemetry.Telemetry; every publish point is in
         #: the parent control loop, which is single-threaded, so the bus
         #: serialization contract holds.  Workers fork before any region
         #: launches and never see the bus.
         self.telemetry = telemetry
         self._bus = telemetry.bus if telemetry is not None else None
+        if self.autotuner is not None:
+            self.autotuner.bind(self._bus)
         self.cancel_first_runs = cancel_first_runs
         self.poll_interval = poll_interval
         self.fallback_interval = (fallback_interval
@@ -209,6 +221,7 @@ class ProcessExecutor(Executor, GuardHost):
         finally:
             self._shutdown()
             if self.telemetry is not None:
+                self.telemetry.record_autotuner(self.autotuner)
                 self.telemetry.record_scheduler(self.scheduler)
                 self.telemetry.run_finished(self.now(), self.workers,
                                             now=self.now())
@@ -356,6 +369,10 @@ class ProcessExecutor(Executor, GuardHost):
         run.coordinator = Coordinator(self, graph, modulation=self.modulation,
                                       cancel_first_runs=self.cancel_first_runs,
                                       policy=self.policy, telemetry=self._bus)
+        if self.autotuner is not None:
+            # Parent-side, before any task reaches START_CHECK, so the
+            # inherited position lands before the first valve verdict.
+            self.autotuner.attach_region(region)
         if self._bus is not None:
             self._bus.emit("sched", region.name, "", "launch",
                            data={"detail": f"{len(graph)} tasks"})

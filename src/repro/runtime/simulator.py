@@ -122,7 +122,8 @@ class SimExecutor(Executor, GuardHost):
                  trace: bool = False,
                  policy: Optional[Any] = None,
                  telemetry: Optional[Any] = None,
-                 scheduler: Optional[Any] = None):
+                 scheduler: Optional[Any] = None,
+                 autotune: Optional[Any] = None):
         if cores < 1:
             raise SchedulerError("need at least one core")
         self.cores = cores
@@ -136,8 +137,18 @@ class SimExecutor(Executor, GuardHost):
         if telemetry is None and trace:
             from ..telemetry import Telemetry
             telemetry = Telemetry(metrics=False, chrome=False)
+        # Closed-loop SLO autotuning (repro.tuning): needs a bus to hear
+        # feedback events, so an enabled tuner implies at least a
+        # lightweight Telemetry.  Lazy import, like repro.sched below.
+        from ..tuning import make_autotuner
+        self.autotuner = make_autotuner(autotune)
+        if self.autotuner is not None and telemetry is None:
+            from ..telemetry import Telemetry
+            telemetry = Telemetry(metrics=False, chrome=False)
         self.telemetry = telemetry
         self._bus = telemetry.bus if telemetry is not None else None
+        if self.autotuner is not None:
+            self.autotuner.bind(self._bus)
         self.trace: Optional[Trace] = (
             telemetry.trace if telemetry is not None else None)
         #: SchedLab schedule policy: tie-breaks among simultaneous
@@ -193,6 +204,7 @@ class SimExecutor(Executor, GuardHost):
                 callback()
         finally:
             if self.telemetry is not None:
+                self.telemetry.record_autotuner(self.autotuner)
                 self.telemetry.record_scheduler(self.scheduler)
                 self.telemetry.run_finished(self._now, self.cores,
                                             now=self._now)
@@ -271,6 +283,10 @@ class SimExecutor(Executor, GuardHost):
             self, graph, modulation=self.modulation,
             cancel_first_runs=self.cancel_first_runs,
             policy=self.policy, telemetry=self._bus)
+        if self.autotuner is not None:
+            # After finalize (valves exist), before the first start
+            # check — the inherited position lands before any verdict.
+            self.autotuner.attach_region(region)
         for task in graph:
             self._task_region[id(task)] = run
             task.stats.enter(TaskState.INIT, self._now)

@@ -53,13 +53,25 @@ class ThreadExecutor(Executor, GuardHost):
                  telemetry: Optional[object] = None,
                  event_wakeups: bool = True,
                  scheduler: Optional[object] = None,
-                 slots: Optional[int] = None):
+                 slots: Optional[int] = None,
+                 autotune: Optional[object] = None):
         self.modulation = modulation
+        # Closed-loop SLO autotuning (repro.tuning): needs a bus, so an
+        # enabled tuner implies at least a lightweight Telemetry.  The
+        # tuner's callback runs at bus publish points — all under the
+        # executor lock, so its state needs no locking of its own.
+        from ..tuning import make_autotuner
+        self.autotuner = make_autotuner(autotune)
+        if self.autotuner is not None and telemetry is None:
+            from ..telemetry import Telemetry
+            telemetry = Telemetry(metrics=False, chrome=False)
         #: Optional repro.telemetry.Telemetry; all publish points run
         #: under the executor lock, satisfying the bus serialization
         #: contract.
         self.telemetry = telemetry
         self._bus = telemetry.bus if telemetry is not None else None
+        if self.autotuner is not None:
+            self.autotuner.bind(self._bus)
         self.cancel_first_runs = cancel_first_runs
         self.poll_interval = poll_interval
         #: Guards are woken by events — count publishes, data-cell bumps
@@ -162,6 +174,7 @@ class ThreadExecutor(Executor, GuardHost):
             # a SchedLab sleep to run out.
             self._stop.set()
             if self.telemetry is not None:
+                self.telemetry.record_autotuner(self.autotuner)
                 self.telemetry.record_scheduler(self.scheduler)
                 # One worker: the GIL serializes the actual computation.
                 self.telemetry.run_finished(self.now(), 1, now=self.now())
@@ -237,6 +250,10 @@ class ThreadExecutor(Executor, GuardHost):
         if self.event_wakeups:
             coordinator.enable_update_wakeups()
         self._coordinators[id(region)] = coordinator
+        if self.autotuner is not None:
+            # Under the executor lock, before any guard thread starts:
+            # the inherited position lands before the first start check.
+            self.autotuner.attach_region(region)
         if self._bus is not None:
             self._bus.emit("sched", region.name, "", "launch",
                            data={"detail": f"{len(graph)} tasks"})

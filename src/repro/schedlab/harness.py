@@ -81,6 +81,8 @@ class Outcome:
     seed: Optional[int] = None
     #: repro.sched discipline spec the run used (None = default FCFS).
     scheduler: Optional[str] = None
+    #: repro.tuning autotune spec the run used (None = static valves).
+    autotune: Optional[str] = None
     policy: Dict = field(default_factory=dict)
     #: None = the run passed every check; otherwise a failure kind such
     #: as "scheduler-error", "task-body-error:RacyOrderingBug",
@@ -109,6 +111,7 @@ class Outcome:
             "mutation": self.mutation,
             "seed": self.seed,
             "scheduler": self.scheduler,
+            "autotune": self.autotune,
             "policy": self.policy,
             "failure": self.failure,
             "message": self.message,
@@ -125,6 +128,8 @@ class Outcome:
             extras.append(f"mutation={self.mutation}")
         if self.scheduler:
             extras.append(f"scheduler={self.scheduler}")
+        if self.autotune:
+            extras.append(f"autotune={self.autotune}")
         if self.strict:
             extras.append("strict")
         suffix = (" " + " ".join(extras)) if extras else ""
@@ -164,24 +169,25 @@ def _normalize_faults(faults) -> List[dict]:
 
 def _build_executor(backend: str, policy: SchedulePolicy, *, cores: int,
                     timeout: float, workers: int, trace: bool,
-                    telemetry=None, scheduler=None):
+                    telemetry=None, scheduler=None, autotune=None):
     if backend == "sim":
         from ..runtime.simulator import Overheads, SimExecutor
 
         return SimExecutor(cores=cores, overheads=Overheads.zero(),
                            policy=policy, trace=trace, telemetry=telemetry,
-                           scheduler=scheduler)
+                           scheduler=scheduler, autotune=autotune)
     if backend == "thread":
         from ..runtime.thread_backend import ThreadExecutor
 
         return ThreadExecutor(policy=policy, timeout=timeout,
-                              telemetry=telemetry, scheduler=scheduler)
+                              telemetry=telemetry, scheduler=scheduler,
+                              autotune=autotune)
     if backend == "process":
         from ..runtime.process_backend import ProcessExecutor
 
         return ProcessExecutor(workers=workers, policy=policy,
                                timeout=timeout, telemetry=telemetry,
-                               scheduler=scheduler)
+                               scheduler=scheduler, autotune=autotune)
     raise SchedulerError(
         f"unknown backend {backend!r}; expected sim, thread or process")
 
@@ -198,7 +204,8 @@ def run_scenario(scenario_name: str, *,
                  timeout: float = 15.0,
                  workers: int = 2,
                  telemetry=None,
-                 scheduler: Optional[str] = None) -> Outcome:
+                 scheduler: Optional[str] = None,
+                 autotune: Optional[str] = None) -> Outcome:
     """Execute one scenario under full SchedLab control.
 
     Every fault plan is rebuilt fresh from its serialized form, so a
@@ -212,6 +219,12 @@ def run_scenario(scenario_name: str, *,
     backend runs under; SchedLab policies compose with it — the policy
     resolves whatever tie-break freedom the discipline leaves open.  It
     is recorded in the outcome and its replay artifact.
+
+    ``autotune`` (a :mod:`repro.tuning` spec string such as
+    ``"accuracy_floor:target=0.9"``) enables closed-loop valve
+    autotuning for the run; its ``tune.*`` adjustment events ride the
+    same bus as everything else, so adjustments are visible in replays.
+    Recorded in the outcome and its replay artifact like ``scheduler``.
     """
     try:
         scenario = SCENARIOS[scenario_name]
@@ -239,6 +252,8 @@ def run_scenario(scenario_name: str, *,
                       mutation=mutation, seed=seed,
                       scheduler=(scheduler if scheduler is None
                                  else str(scheduler)),
+                      autotune=(autotune if autotune is None
+                                else str(autotune)),
                       policy=inner.describe(), faults=fault_records)
     checker = InvariantChecker()
     run = scenario.fresh(strict=strict)
@@ -249,7 +264,8 @@ def run_scenario(scenario_name: str, *,
             executor = _build_executor(backend, recorder, cores=cores,
                                        timeout=timeout, workers=workers,
                                        trace=trace, telemetry=telemetry,
-                                       scheduler=scheduler)
+                                       scheduler=scheduler,
+                                       autotune=autotune)
             run.submit(executor)
             result = executor.run()
             outcome.makespan = result.makespan

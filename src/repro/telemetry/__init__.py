@@ -102,6 +102,18 @@ class Telemetry:
             return
         self.metrics.record_scheduler(scheduler.snapshot())
 
+    def record_autotuner(self, autotuner: Optional[Any]) -> None:
+        """Fold a :class:`repro.tuning.ValveAutotuner` end-of-run
+        snapshot into the metrics (window count, final position).
+
+        Adjustments themselves arrive live as ``tune``-kind bus events;
+        this fold only adds what has no per-event form.  No-op without
+        a metrics registry or autotuner.
+        """
+        if self.metrics is None or autotuner is None:
+            return
+        self.metrics.record_autotuner(autotuner.snapshot())
+
     def run_finished(self, makespan: float, workers: int,
                      now: Optional[float] = None) -> None:
         """Close open intervals and freeze derived gauges (idempotent)."""

@@ -40,6 +40,10 @@ Counter catalogue
 ``sched.steals``                          work-stealing queue raids
 ``sched.tasks_shed``                      bounded-queue rejections (dropped)
 ``sched.tasks_deferred``                  bounded-queue overflow parks
+``tune.adjustments``                      autotuner threshold adjustments
+``tune.tightenings``                      adjustments toward serialization
+``tune.relaxations``                      adjustments toward the base/floor
+``tune.windows``                          autotuner decision windows closed
 ========================================  =====================================
 
 ``time.*`` counters are in the executor's clock units (virtual cost
@@ -73,6 +77,8 @@ COUNTER_CATALOGUE = (
     "trace.dropped_events",
     "sched.picks", "sched.steals", "sched.tasks_shed",
     "sched.tasks_deferred",
+    "tune.adjustments", "tune.tightenings", "tune.relaxations",
+    "tune.windows",
 )
 
 #: Bucket boundaries for the scheduler queue-residence histogram.  Wider
@@ -239,6 +245,15 @@ class MetricsRegistry:
                      event.data.get("skipped", 0))
         elif kind == "worker":
             self._on_worker(event)
+        elif kind == "tune":
+            if event.name == "adjust":
+                self.inc("tune.adjustments")
+                after = event.data.get("after", 0.0)
+                if after > event.data.get("before", 0.0):
+                    self.inc("tune.tightenings")
+                else:
+                    self.inc("tune.relaxations")
+                self.set_gauge("tune.position", after)
 
     def _on_transition(self, event: TelemetryEvent) -> None:
         key = (event.region, event.task)
@@ -293,6 +308,17 @@ class MetricsRegistry:
         residence = snapshot.get("residence")
         if residence:
             self.histograms["sched.queue_residence"].merge(residence)
+
+    def record_autotuner(self, snapshot: Dict[str, Any]) -> None:
+        """Fold a :meth:`repro.tuning.ValveAutotuner.snapshot` in.
+
+        Only the decision-window count and final position come from the
+        snapshot; adjustments are live ``tune``-kind bus events and are
+        deliberately not re-counted here (same split as
+        :meth:`record_scheduler` vs the shed/steal events).
+        """
+        self.inc("tune.windows", snapshot.get("windows", 0))
+        self.set_gauge("tune.position", snapshot.get("position", 0.0))
 
     # -- end of run --------------------------------------------------------
 

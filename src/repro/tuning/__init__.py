@@ -1,0 +1,42 @@
+"""Valve tuning: offline threshold search and online SLO autotuning.
+
+Two generations of the paper's "future work" auto-tuning live here:
+
+* :mod:`repro.tuning.offline` — the original bisection search for the
+  cheapest feasible static threshold (:class:`ThresholdTuner`,
+  :class:`ValveSelector`).  Re-exported at the package root so historic
+  ``from repro.tuning import ThresholdTuner`` imports keep working.
+* :mod:`repro.tuning.autotune` + :mod:`repro.tuning.controllers` — the
+  closed-loop :class:`ValveAutotuner`, which steers start-valve
+  thresholds at runtime against a declared :class:`SLO` using a
+  pluggable control law (:func:`make_controller`).
+
+Executors accept ``autotune=`` specs via :func:`make_autotuner`;
+misconfiguration raises :class:`~repro.core.errors.TuningError`.
+"""
+
+from ..core.errors import TuningError
+from .autotune import (SLO, SLO_KINDS, TuneDecision, ValveAutotuner,
+                       make_autotuner)
+from .controllers import (CONTROLLER_NAMES, CONTROLLERS, AimdController,
+                          Controller, HysteresisController, make_controller)
+from .offline import ThresholdTuner, TuningProbe, TuningResult, ValveSelector
+
+__all__ = [
+    "SLO",
+    "SLO_KINDS",
+    "TuneDecision",
+    "ValveAutotuner",
+    "make_autotuner",
+    "Controller",
+    "AimdController",
+    "HysteresisController",
+    "CONTROLLERS",
+    "CONTROLLER_NAMES",
+    "make_controller",
+    "ThresholdTuner",
+    "TuningProbe",
+    "TuningResult",
+    "ValveSelector",
+    "TuningError",
+]

@@ -1,0 +1,209 @@
+"""Control laws for the online valve autotuner.
+
+A :class:`Controller` turns an SLO *error* into a step of the tuner's
+normalized *position*.  The contract (see ``docs/autotuning.md``):
+
+* The tuner's position lives in ``[-1, 1]``: ``0`` is the user-declared
+  base threshold, ``1`` is full serialization (every tunable valve at
+  its ``max_threshold``-style ceiling), and negative positions relax
+  *below* the base — reachable only when the autotuner was built with
+  an explicit ``relax_floor`` (the paper treats the user threshold as a
+  minimum, so relaxation past it is opt-in).
+* The error is signed so that **positive means "tighten"**: the run is
+  missing its quality floor (or has latency slack to spend on
+  accuracy), so thresholds should move toward serialization.  Negative
+  error asks for relaxation.
+* :meth:`Controller.step` returns a signed position delta.  Errors
+  inside the controller's ``deadband`` must map to a zero step — that
+  is what the conformance suite's no-oscillation property pins.
+
+Controllers are cheap, single-run state machines: a tuner drives one
+instance for the whole run (hysteresis direction memory spans epoch
+regions by design); :meth:`Controller.clone` stamps out a fresh,
+identically-configured instance so harnesses can reuse one prototype
+across many runs without leaking state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..core.errors import TuningError
+
+
+class Controller:
+    """Base control law: error -> position delta."""
+
+    name = "controller"
+
+    def __init__(self, deadband: float = 0.02):
+        if deadband < 0:
+            raise TuningError(f"{self.name}: deadband must be >= 0")
+        self.deadband = float(deadband)
+
+    def step(self, error: float, position: float) -> float:
+        """Signed position delta for this error at this position.
+
+        Must return 0 whenever ``abs(error) <= deadband``.
+        """
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Drop per-region state (direction memory etc.)."""
+
+    def clone(self) -> "Controller":
+        """A fresh controller with the same configuration."""
+        raise NotImplementedError
+
+    def describe(self) -> Dict[str, Any]:
+        return {"controller": self.name, "deadband": self.deadband}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}({self.describe()})"
+
+
+class AimdController(Controller):
+    """Additive-increase / multiplicative-decrease, TCP style.
+
+    The *rate* being controlled is relaxation (``1 - position``): while
+    the SLO is met with margin the controller relaxes additively
+    (``relax_step`` toward the floor, probing for concurrency); on an
+    SLO violation it backs off multiplicatively, jumping ``backoff`` of
+    the remaining distance toward full serialization.  The asymmetry
+    makes violations recover in O(log) steps while the relaxation probe
+    stays gentle — the classic AIMD stability argument.
+    """
+
+    name = "aimd"
+
+    def __init__(self, relax_step: float = 0.05, backoff: float = 0.5,
+                 deadband: float = 0.02):
+        super().__init__(deadband)
+        if not 0.0 < backoff <= 1.0:
+            raise TuningError("aimd: backoff must be in (0, 1]")
+        if relax_step <= 0:
+            raise TuningError("aimd: relax_step must be positive")
+        self.relax_step = float(relax_step)
+        self.backoff = float(backoff)
+
+    def step(self, error: float, position: float) -> float:
+        if error > self.deadband:
+            # Violation: multiplicative backoff of the relaxation.
+            return self.backoff * (1.0 - position)
+        if error < -self.deadband:
+            # Met with margin: additive relaxation probe.
+            return -self.relax_step
+        return 0.0
+
+    def clone(self) -> "AimdController":
+        return AimdController(self.relax_step, self.backoff, self.deadband)
+
+    def describe(self) -> Dict[str, Any]:
+        return {"controller": self.name, "deadband": self.deadband,
+                "relax_step": self.relax_step, "backoff": self.backoff}
+
+
+class HysteresisController(Controller):
+    """Proportional control with a deadband and direction hysteresis.
+
+    The step is ``gain * error`` clamped to ``max_step``.  Reversing
+    direction (tighten after relax or vice versa) additionally requires
+    the error to exceed ``reversal * deadband``, so measurement noise
+    bouncing around the target cannot make the thresholds oscillate —
+    the conformance suite drives this with adversarial error streams.
+    """
+
+    name = "hysteresis"
+
+    def __init__(self, gain: float = 0.5, deadband: float = 0.03,
+                 max_step: float = 0.25, reversal: float = 2.0):
+        super().__init__(deadband)
+        if gain <= 0:
+            raise TuningError("hysteresis: gain must be positive")
+        if max_step <= 0:
+            raise TuningError("hysteresis: max_step must be positive")
+        if reversal < 1.0:
+            raise TuningError("hysteresis: reversal must be >= 1")
+        self.gain = float(gain)
+        self.max_step = float(max_step)
+        self.reversal = float(reversal)
+        self._direction = 0
+
+    def step(self, error: float, position: float) -> float:
+        if abs(error) <= self.deadband:
+            return 0.0
+        direction = 1 if error > 0 else -1
+        if self._direction and direction != self._direction and \
+                abs(error) <= self.reversal * self.deadband:
+            # Inside the hysteresis band: hold course rather than flap.
+            return 0.0
+        self._direction = direction
+        delta = self.gain * error
+        return max(-self.max_step, min(self.max_step, delta))
+
+    def reset(self) -> None:
+        self._direction = 0
+
+    def clone(self) -> "HysteresisController":
+        return HysteresisController(self.gain, self.deadband,
+                                    self.max_step, self.reversal)
+
+    def describe(self) -> Dict[str, Any]:
+        return {"controller": self.name, "deadband": self.deadband,
+                "gain": self.gain, "max_step": self.max_step,
+                "reversal": self.reversal}
+
+
+#: name -> constructor accepting keyword options (all-float).
+CONTROLLERS = {
+    "aimd": AimdController,
+    "hysteresis": HysteresisController,
+}
+
+CONTROLLER_NAMES = ", ".join(sorted(CONTROLLERS))
+
+
+def make_controller(spec: Any = None, **overrides: float) -> Controller:
+    """Build a controller from a spec.
+
+    ``None`` gives a fresh :class:`AimdController` (the default law); a
+    :class:`Controller` instance passes through; a string names a law,
+    with options as keywords (forwarded by the autotuner spec parser)::
+
+        make_controller("aimd")
+        make_controller("hysteresis", gain=0.8, deadband=0.05)
+    """
+    if spec is None:
+        return AimdController(**overrides) if overrides else AimdController()
+    if isinstance(spec, Controller):
+        if overrides:
+            raise TuningError(
+                "controller options cannot be combined with a "
+                "Controller instance")
+        return spec
+    name = str(spec).strip().lower()
+    if name not in CONTROLLERS:
+        raise TuningError(
+            f"unknown controller {name!r}; expected one of "
+            + CONTROLLER_NAMES)
+    try:
+        return CONTROLLERS[name](**overrides)
+    except TypeError as error:
+        raise TuningError(
+            f"bad option for controller {name!r}: {error}") from None
+
+
+def parse_float(name: str, value: str) -> float:
+    """Shared option coercion with a uniform error."""
+    try:
+        return float(value)
+    except ValueError:
+        raise TuningError(
+            f"option {name!r} needs a number, got {value!r}") from None
+
+
+def controller_option_names(name: Optional[str]) -> "tuple[str, ...]":
+    """The keyword options a named controller accepts (spec parsing)."""
+    if name == "hysteresis":
+        return ("gain", "deadband", "max_step", "reversal")
+    return ("relax_step", "backoff", "deadband")

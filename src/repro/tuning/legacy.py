@@ -1,0 +1,22 @@
+"""Deprecated import path for the offline tuning helpers.
+
+``repro.tuning`` used to be a single module holding the offline
+bisection tuner; it is now a package (offline search, control laws,
+and the online :class:`~repro.tuning.autotune.ValveAutotuner`).  Code
+that imported ``repro.tuning.legacy`` keeps working through this shim,
+but should move to ``repro.tuning`` (same names, no warning).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from .offline import ThresholdTuner  # noqa: F401
+from .offline import TuningProbe  # noqa: F401
+from .offline import TuningResult  # noqa: F401
+from .offline import ValveSelector  # noqa: F401
+
+warnings.warn(
+    "repro.tuning.legacy is deprecated; import ThresholdTuner and "
+    "friends from repro.tuning instead",
+    DeprecationWarning, stacklevel=2)

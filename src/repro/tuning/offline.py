@@ -1,10 +1,12 @@
-"""Automatic valve-threshold tuning (the paper's Section 4.4).
+"""Offline valve-threshold tuning (the paper's Section 4.4).
 
 The paper leaves two auto-tuning mechanisms to future work:
 
 1. *runtime modulation* — tighten thresholds toward full serialization
    after quality failures.  That part ships in the core as
-   :class:`repro.core.guard.ModulationPolicy`.
+   :class:`repro.core.guard.ModulationPolicy`, and the *closed-loop*
+   generalization — an online controller steering thresholds against a
+   declared SLO — lives next door in :mod:`repro.tuning.autotune`.
 2. *offline auto-tuning* — "ML-based policies could be deployed to
    auto-tune both the types of valves and the thresholds ... safe to
    automate for task chains that end in user-specified quality
@@ -30,7 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
-from .apps.base import FluidApp
+from ..apps.base import FluidApp
 
 
 @dataclass

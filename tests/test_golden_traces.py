@@ -80,6 +80,36 @@ class TestGoldenTraces:
         assert outcome.ok, outcome.message
         assert _signature(outcome.trace) == golden["events"]
 
+    @pytest.mark.parametrize("scenario", sorted(CASES))
+    def test_autotune_none_preserves_golden(self, scenario):
+        """``autotune=None`` is the default everywhere; threading the
+        parameter through the harness must not perturb a single
+        scheduling decision or publish a single extra structural
+        event."""
+        golden = json.loads(
+            (GOLDEN_DIR / CASES[scenario]).read_text(encoding="utf-8"))
+        outcome = run_scenario(scenario, backend="sim",
+                               policy=SeededRandomPolicy(GOLDEN_SEED),
+                               seed=GOLDEN_SEED, trace=True,
+                               autotune=None)
+        assert outcome.ok, outcome.message
+        assert _signature(outcome.trace) == golden["events"]
+
+    @pytest.mark.parametrize("scenario", sorted(CASES))
+    def test_idle_autotuner_preserves_golden_structure(self, scenario):
+        """Even a *bound* tuner whose window never fills must leave the
+        structural trace untouched: ``tune`` events are not recorded by
+        Trace, and an idle controller actuates nothing."""
+        golden = json.loads(
+            (GOLDEN_DIR / CASES[scenario]).read_text(encoding="utf-8"))
+        outcome = run_scenario(scenario, backend="sim",
+                               policy=SeededRandomPolicy(GOLDEN_SEED),
+                               seed=GOLDEN_SEED, trace=True,
+                               autotune="accuracy_floor:target=0.9,"
+                                        "window=10000")
+        assert outcome.ok, outcome.message
+        assert _signature(outcome.trace) == golden["events"]
+
 
 def _update():
     GOLDEN_DIR.mkdir(exist_ok=True)

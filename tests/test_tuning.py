@@ -1,4 +1,14 @@
-"""Tests for the automatic threshold tuner (Section 4.4)."""
+"""Tests for the automatic threshold tuner (Section 4.4).
+
+``repro.tuning`` grew from a module into a package (offline tuner +
+online autotuner + controllers); the offline API these tests exercise
+must stay importable from the package root, and the old
+``repro.tuning.legacy`` shim must keep working with a deprecation
+warning.
+"""
+
+import importlib
+import sys
 
 import pytest
 
@@ -12,6 +22,33 @@ from repro.workloads import random_graph, synthetic_image, synthetic_poses
 def kmeans_app():
     return KMeansApp(synthetic_image(32, 32, diversity=5, seed=71),
                      num_clusters=4, epochs=4)
+
+
+class TestPackageLayout:
+    def test_offline_api_reexported_from_package_root(self):
+        import repro.tuning as tuning
+        import repro.tuning.offline as offline
+        assert tuning.ThresholdTuner is offline.ThresholdTuner
+        assert tuning.TuningResult is offline.TuningResult
+        assert tuning.TuningProbe is offline.TuningProbe
+        assert tuning.ValveSelector is offline.ValveSelector
+
+    def test_package_root_exports_online_api_too(self):
+        import repro.tuning as tuning
+        for name in ("ValveAutotuner", "SLO", "make_autotuner",
+                     "AimdController", "HysteresisController",
+                     "make_controller", "TuningError"):
+            assert hasattr(tuning, name), name
+            assert name in tuning.__all__, name
+
+    def test_legacy_shim_warns_and_reexports(self):
+        sys.modules.pop("repro.tuning.legacy", None)
+        with pytest.warns(DeprecationWarning,
+                          match="repro.tuning.legacy is deprecated"):
+            legacy = importlib.import_module("repro.tuning.legacy")
+        assert legacy.ThresholdTuner is ThresholdTuner
+        assert legacy.TuningResult is TuningResult
+        assert legacy.ValveSelector is ValveSelector
 
 
 class TestValidation:

@@ -26,6 +26,7 @@ apps alias payload buffers.
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 
 import numpy as np
@@ -34,6 +35,8 @@ from ..core.valves import set_memoization
 from .harness import (cpu_bound_shapes, run_backend_bench, run_comparison,
                       run_region_comparison, standard_suite)
 from .reporting import render_series, render_table
+
+_log = logging.getLogger("repro.bench")
 
 
 def collect_figure6_rows(only_app=None, quick=False, telemetry=None,
@@ -303,6 +306,11 @@ def main(argv=None) -> int:
                         help="write a telemetry metrics JSON dump of the "
                              "first (or measured) fluid run "
                              "(inspect with python -m repro.telemetry)")
+    parser.add_argument("--debug", action="store_true",
+                        help="re-raise spec/validation errors with their "
+                             "full traceback instead of the one-line CLI "
+                             "error (tracebacks are always logged at "
+                             "debug level)")
     args = parser.parse_args(argv)
 
     if ((args.legacy_polling or args.fallback_interval is not None)
@@ -324,6 +332,10 @@ def main(argv=None) -> int:
         try:
             make_scheduler(args.scheduler)
         except Exception as error:  # noqa: BLE001 - surfaced as CLI error
+            _log.debug("bad --scheduler spec %r", args.scheduler,
+                       exc_info=True)
+            if args.debug:
+                raise
             parser.error(str(error))
     if args.autotune is not None:
         if args.sweep or args.backend in ("thread", "process") or \
@@ -335,6 +347,10 @@ def main(argv=None) -> int:
         try:
             make_autotuner(args.autotune)
         except Exception as error:  # noqa: BLE001 - surfaced as CLI error
+            _log.debug("bad --autotune spec %r", args.autotune,
+                       exc_info=True)
+            if args.debug:
+                raise
             parser.error(str(error))
 
     telemetry = None

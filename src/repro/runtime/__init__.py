@@ -14,15 +14,18 @@ See the backend matrix in docs/runtime-semantics.md for capabilities
 and when to use which; :func:`make_executor` builds one by name.
 """
 
+from .context import RegionRun, RunContext
 from .events import EventQueue
 from .executor import BACKENDS, Executor, RunResult, make_executor, run_serial
 from .process_backend import ProcessExecutor
 from .simulator import Overheads, SimExecutor, SimResult
 from .thread_backend import ThreadExecutor
+from .thread_pool import SharedThreadPool
 from .tracing import Trace, TraceEvent
 
 __all__ = [
-    "BACKENDS", "EventQueue", "Executor", "RunResult", "make_executor",
-    "run_serial", "Overheads", "ProcessExecutor", "SimExecutor", "SimResult",
+    "BACKENDS", "EventQueue", "Executor", "RegionRun", "RunContext",
+    "RunResult", "SharedThreadPool", "make_executor", "run_serial",
+    "Overheads", "ProcessExecutor", "SimExecutor", "SimResult",
     "ThreadExecutor", "Trace", "TraceEvent",
 ]

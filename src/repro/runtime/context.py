@@ -1,0 +1,157 @@
+"""Per-run state shared by every backend: :class:`RunContext`.
+
+Historically each executor owned exactly one run: submissions, region
+completion bookkeeping, the telemetry binding, the autotuner position
+and (on the thread backend) guard threads and wake events all lived as
+executor attributes, which is why executors are single-shot.  A
+long-lived service that multiplexes many concurrent runs over one
+shared backend pool needs that state split out per run.
+
+:class:`RunContext` is that split: one context per logical ``run()`` —
+a batch of regions with inter-region ``after`` dependencies — holding
+everything that must be isolated between concurrent runs.  The one-shot
+executors build a single private context; :class:`~repro.runtime.thread_pool.SharedThreadPool`
+hosts many at once; :class:`repro.service.FluidService` creates one per
+admitted request (or request batch).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..core.errors import SchedulerError
+from ..core.region import FluidRegion
+from ..core.states import TaskState
+
+
+class RegionRun:
+    """Bookkeeping for one submitted region within a run context."""
+
+    __slots__ = ("index", "region", "after", "coordinator", "launched",
+                 "done", "launch_time")
+
+    def __init__(self, index: int, region: FluidRegion,
+                 after: Tuple[FluidRegion, ...]):
+        self.index = index
+        self.region = region
+        self.after = after
+        self.coordinator: Optional[object] = None
+        self.launched = False
+        self.done = False
+        self.launch_time = 0.0
+
+
+class RunContext:
+    """Everything one run owns: regions, wake events, errors, telemetry.
+
+    The context is a passive container — the hosting pool/executor
+    mutates it under its own lock.  Fields that only the thread-based
+    pool uses (``run_events``, ``threads``, ``active_guards``) stay
+    empty on the simulator and process backends.
+    """
+
+    _labels = itertools.count(1)
+
+    def __init__(self, *, label: Optional[str] = None,
+                 telemetry: Optional[object] = None,
+                 autotuner: Optional[object] = None,
+                 modulation: Optional[object] = None,
+                 cancel_first_runs: bool = False):
+        self.label = label or f"run-{next(self._labels)}"
+        #: Optional repro.telemetry.Telemetry bundle for this run.
+        self.telemetry = telemetry
+        self.bus = telemetry.bus if telemetry is not None else None
+        #: Optional repro.tuning.ValveAutotuner steering this run's valves.
+        self.autotuner = autotuner
+        self.modulation = modulation
+        self.cancel_first_runs = cancel_first_runs
+        self.runs: List[RegionRun] = []
+        #: id(region) -> Coordinator, one per launched region.
+        self.coordinators: Dict[int, object] = {}
+        #: id(task) -> threading.Event poked by schedule_run (thread pool).
+        self.run_events: Dict[int, threading.Event] = {}
+        #: Guard threads serving this context (thread pool); joined on
+        #: completion so runs do not leak threads.
+        self.threads: List[threading.Thread] = []
+        #: Live guard threads still inside their main loop.
+        self.active_guards = 0
+        #: First body error (TaskBodyError on the thread pool, any
+        #: executor error on one-shot pools); surfaced to the waiter /
+        #: service future.
+        self.body_error: Optional[Exception] = None
+        #: Pool-clock time at which the context was started.
+        self.epoch = 0.0
+        #: Set when the context is cancelled (shutdown, timeout, error):
+        #: guards drain instead of starting new work.
+        self.stopped = False
+        #: Set once every region is done (or the context stopped) and
+        #: all guards have exited.
+        self.finished = threading.Event()
+        #: Called exactly once when ``finished`` is set, from the thread
+        #: that finished the context (a guard thread on the thread pool).
+        #: Must be cheap and non-blocking — the service uses it to hop
+        #: back onto the asyncio loop via ``call_soon_threadsafe``.
+        self.on_finished: Optional[Callable[["RunContext"], None]] = None
+
+    # ------------------------------------------------------------ regions
+
+    def submit(self, region: FluidRegion,
+               after: Iterable[FluidRegion] = ()) -> RegionRun:
+        run = RegionRun(len(self.runs), region, tuple(after))
+        self.runs.append(run)
+        return run
+
+    def run_for(self, region: FluidRegion) -> RegionRun:
+        for run in self.runs:
+            if run.region is region:
+                return run
+        raise SchedulerError(
+            f"region {region.name!r} given as an 'after' dependency was "
+            "never submitted to this run")
+
+    @property
+    def regions(self) -> List[FluidRegion]:
+        return [run.region for run in self.runs]
+
+    @property
+    def submissions(self) -> List[Tuple[FluidRegion, Tuple[FluidRegion, ...]]]:
+        """Legacy view used by ``sync()`` and executor facades."""
+        return [(run.region, run.after) for run in self.runs]
+
+    @property
+    def all_done(self) -> bool:
+        return all(run.done for run in self.runs)
+
+    # ------------------------------------------------------------ lifetime
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        """Join this context's guard threads (one deadline overall)."""
+        if not self.threads:
+            return
+        import time as _time
+        deadline = (_time.perf_counter() + timeout
+                    if timeout is not None else None)
+        for thread in self.threads:
+            if deadline is None:
+                thread.join()
+            else:
+                remaining = deadline - _time.perf_counter()
+                if remaining <= 0:
+                    break
+                thread.join(remaining)
+
+    def pending_description(self) -> str:
+        """Human-readable list of incomplete tasks, for diagnostics."""
+        lines = []
+        for run in self.runs:
+            if not run.launched:
+                lines.append(f"{run.region.name}=unlaunched")
+                continue
+            for task in run.region.tasks:
+                if task.state is not TaskState.COMPLETE:
+                    lines.append(
+                        f"{run.region.name}/{task.name}={task.state}")
+        return "; ".join(lines) or \
+            "all tasks complete (region bookkeeping?)"

@@ -65,26 +65,13 @@ from ..core.guard import Coordinator, GuardHost, ModulationPolicy
 from ..core.region import FluidRegion
 from ..core.states import TaskState
 from ..core.task import FluidTask, TaskContext
+from .context import RegionRun, RunContext
 from .executor import Executor, RunResult, emit_memo_summary
 
 #: Worker -> parent message kinds.
 _PROGRESS, _FINISHED, _CANCELLED, _ERROR = "progress", "finished", "cancelled", "error"
 
 logger = logging.getLogger(__name__)
-
-
-class _RegionRun:
-    """Parent-side bookkeeping for one submitted region."""
-
-    def __init__(self, index: int, region: FluidRegion,
-                 after: Tuple[FluidRegion, ...]):
-        self.index = index
-        self.region = region
-        self.after = after
-        self.coordinator: Optional[Coordinator] = None
-        self.launched = False
-        self.done = False
-        self.launch_time = 0.0
 
 
 class ProcessExecutor(Executor, GuardHost):
@@ -165,8 +152,14 @@ class ProcessExecutor(Executor, GuardHost):
         self.scheduler = make_scheduler(scheduler).bind(
             policy=policy, bus=self._bus, point="dispatch",
             workers=self.workers)
-        self._runs: List[_RegionRun] = []
-        self._task_run: Dict[int, _RegionRun] = {}
+        # Per-run state (submissions, completion bookkeeping, telemetry
+        # and autotuner binding) lives in a RunContext, shared shape
+        # with the other backends; this single-shot executor owns one.
+        self._ctx = RunContext(
+            telemetry=telemetry, autotuner=self.autotuner,
+            modulation=modulation, cancel_first_runs=cancel_first_runs,
+            label="process-run")
+        self._task_run: Dict[int, RegionRun] = {}
         self._task_index: Dict[int, Tuple[int, int]] = {}
         self._queued: set = set()
         self._idle: List[int] = []
@@ -187,9 +180,14 @@ class ProcessExecutor(Executor, GuardHost):
 
     # ------------------------------------------------------------- public
 
+    @property
+    def _runs(self) -> List[RegionRun]:
+        """Per-run region bookkeeping (``sync()`` duck-types on it)."""
+        return self._ctx.runs
+
     def submit(self, region: FluidRegion,
                after: Iterable[FluidRegion] = ()) -> FluidRegion:
-        self._runs.append(_RegionRun(len(self._runs), region, tuple(after)))
+        self._ctx.submit(region, tuple(after))
         return region
 
     def run(self) -> RunResult:
@@ -302,15 +300,20 @@ class ProcessExecutor(Executor, GuardHost):
                 pass  # queue already closed/broken or worker gone
             except Exception:
                 logger.exception("unexpected error sending worker shutdown")
-        for process in self._processes:
-            process.join(timeout=0.5)
-        for process in self._processes:
-            if process.is_alive():
-                process.terminate()
-                process.join(timeout=0.5)
-            if process.is_alive():  # pragma: no cover - stubborn worker
-                process.kill()
-                process.join(timeout=0.5)
+        # One deadline covers the whole pool: joining N workers
+        # sequentially with a per-process timeout used to stall shutdown
+        # for N x timeout when the pool was wedged.  Workers that miss
+        # the graceful window are terminated in one pass, then killed in
+        # one pass, each pass sharing a single (shorter) deadline.
+        self._join_all(self._processes, 0.5)
+        stragglers = [p for p in self._processes if p.is_alive()]
+        for process in stragglers:
+            process.terminate()
+        self._join_all(stragglers, 0.5)
+        stubborn = [p for p in stragglers if p.is_alive()]
+        for process in stubborn:  # pragma: no cover - stubborn worker
+            process.kill()
+        self._join_all(stubborn, 0.5)
         self._discard_pending_events()
         for channel in self._inboxes + ([self._outbox] if self._outbox else []):
             try:
@@ -320,6 +323,16 @@ class ProcessExecutor(Executor, GuardHost):
                 pass  # already closed
             except Exception:
                 logger.exception("unexpected error closing worker queue")
+
+    @staticmethod
+    def _join_all(processes, timeout: float) -> None:
+        """Join ``processes`` under one shared deadline (not per-join)."""
+        deadline = time.perf_counter() + timeout
+        for process in processes:
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                return
+            process.join(timeout=remaining)
 
     def _discard_pending_events(self) -> None:
         """Drop unapplied events, releasing any shared-memory payloads."""
@@ -354,14 +367,10 @@ class ProcessExecutor(Executor, GuardHost):
             run.launched = True
             self._launch_region(run)
 
-    def _run_for(self, region: FluidRegion) -> _RegionRun:
-        for run in self._runs:
-            if run.region is region:
-                return run
-        raise SchedulerError(
-            f"region {region.name!r} in an 'after' clause was never submitted")
+    def _run_for(self, region: FluidRegion) -> RegionRun:
+        return self._ctx.run_for(region)
 
-    def _launch_region(self, run: _RegionRun) -> None:
+    def _launch_region(self, run: RegionRun) -> None:
         region = run.region
         graph = region.finalize()
         region.telemetry = self._bus

@@ -31,6 +31,7 @@ from ..core.guard import Coordinator, GuardHost, ModulationPolicy
 from ..core.region import FluidRegion
 from ..core.states import TaskState
 from ..core.task import FluidTask
+from .context import RegionRun, RunContext
 from .events import EventQueue
 from .executor import Executor, RunResult
 from .tracing import Trace
@@ -81,18 +82,6 @@ class SimResult(RunResult):
                  trace: Optional[Trace]):
         super().__init__(makespan, regions, overhead_time)
         self.trace = trace
-
-
-class _RegionRun:
-    """Per-region execution bookkeeping inside the simulator."""
-
-    def __init__(self, region: FluidRegion, after: Tuple[FluidRegion, ...]):
-        self.region = region
-        self.after = after
-        self.coordinator: Optional[Coordinator] = None
-        self.launched = False
-        self.done = False
-        self.launch_time = 0.0
 
 
 class _BufferingSink(UpdateSink):
@@ -172,9 +161,16 @@ class SimExecutor(Executor, GuardHost):
         self._queued: Set[int] = set()
         self._pending_updates: Optional[List[Tuple[Count, Any]]] = None
         self._sink = _BufferingSink(self)
-        self._runs: List[_RegionRun] = []
+        # Per-run state (submissions, completion bookkeeping, telemetry
+        # and autotuner binding) lives in a RunContext — the same
+        # container the shared thread pool multiplexes many of; the
+        # single-shot simulator owns exactly one.
+        self._ctx = RunContext(
+            telemetry=telemetry, autotuner=self.autotuner,
+            modulation=modulation, cancel_first_runs=cancel_first_runs,
+            label="sim-run")
         self._active_regions = 0
-        self._task_region: Dict[int, _RegionRun] = {}
+        self._task_region: Dict[int, RegionRun] = {}
         # count id -> {task id -> task}; a dict (not a set) so wakeup order
         # is insertion order, keeping runs deterministic.
         self._watchers: Dict[int, Dict[int, FluidTask]] = {}
@@ -184,9 +180,14 @@ class SimExecutor(Executor, GuardHost):
 
     # ------------------------------------------------------------- public
 
+    @property
+    def _runs(self) -> List[RegionRun]:
+        """Per-run region bookkeeping (``sync()`` duck-types on it)."""
+        return self._ctx.runs
+
     def submit(self, region: FluidRegion,
                after: Iterable[FluidRegion] = ()) -> FluidRegion:
-        self._runs.append(_RegionRun(region, tuple(after)))
+        self._ctx.submit(region, tuple(after))
         return region
 
     def run(self) -> SimResult:
@@ -265,14 +266,10 @@ class SimExecutor(Executor, GuardHost):
                              lambda run=run: self._launch_region(run),
                              key=f"launch:{run.region.name}")
 
-    def _run_for(self, region: FluidRegion) -> _RegionRun:
-        for run in self._runs:
-            if run.region is region:
-                return run
-        raise SchedulerError(
-            f"region {region.name!r} in an 'after' clause was never submitted")
+    def _run_for(self, region: FluidRegion) -> RegionRun:
+        return self._ctx.run_for(region)
 
-    def _launch_region(self, run: _RegionRun) -> None:
+    def _launch_region(self, run: RegionRun) -> None:
         region = run.region
         graph = region.finalize()
         region.bind_sink(self._sink)
@@ -299,7 +296,7 @@ class SimExecutor(Executor, GuardHost):
                 key=f"start:{task.name}")
         self._record("launch", region.name, "", f"{len(graph)} tasks")
 
-    def _finish_region(self, run: _RegionRun) -> None:
+    def _finish_region(self, run: RegionRun) -> None:
         run.done = True
         self._active_regions -= 1
         run.region.stats.makespan = self._now - run.launch_time

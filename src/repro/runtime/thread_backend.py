@@ -9,42 +9,35 @@ performance experiments use the virtual-time simulator instead (see
 DESIGN.md, substitution table).
 
 All guard decisions go through the same :class:`~repro.core.guard.Coordinator`
-as the simulator, serialized by a per-executor lock, so the two backends
+as the simulator, serialized by a per-pool lock, so the two backends
 cannot diverge semantically.
+
+Since the service refactor the guard machinery lives in
+:class:`~repro.runtime.thread_pool.SharedThreadPool`, which hosts many
+concurrent :class:`~repro.runtime.context.RunContext` runs over one
+shared slot gate.  :class:`ThreadExecutor` is the historical single-shot
+facade: one private pool, one context, the same public API and error
+surface as ever — and, unlike the historical implementation, it joins
+its guard threads on every exit path, so back-to-back runs no longer
+leak threads.
 """
 
 from __future__ import annotations
 
-import threading
 import time
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Iterable, List, Optional, Tuple
 
-from ..core.count import Count, UpdateSink
-from ..core.errors import SchedulerError, TaskBodyError
-from ..core.guard import Coordinator, GuardHost, ModulationPolicy
+from ..core.errors import SchedulerError
 from ..core.region import FluidRegion
-from ..core.states import TaskState
-from ..core.task import FluidTask
-from .executor import Executor, RunResult, emit_memo_summary
+from .context import RunContext
+from .executor import Executor, RunResult
+from .thread_pool import SharedThreadPool
 
 
-class _NotifyingSink(UpdateSink):
-    """Dispatches count updates under the executor lock and wakes guards."""
+class ThreadExecutor(Executor):
+    """Executes regions with one OS guard thread per task (single-shot)."""
 
-    def __init__(self, executor: "ThreadExecutor"):
-        self.executor = executor
-
-    def count_updated(self, count: Count, value) -> None:
-        self.executor._sleep_jitter("publish")
-        with self.executor._lock:
-            count.dispatch(value)
-            self.executor._condition.notify_all()
-
-
-class ThreadExecutor(Executor, GuardHost):
-    """Executes regions with one OS guard thread per task."""
-
-    def __init__(self, modulation: Optional[ModulationPolicy] = None,
+    def __init__(self, modulation: Optional[object] = None,
                  poll_interval: float = 0.002,
                  fallback_interval: Optional[float] = None,
                  timeout: float = 60.0,
@@ -59,14 +52,14 @@ class ThreadExecutor(Executor, GuardHost):
         # Closed-loop SLO autotuning (repro.tuning): needs a bus, so an
         # enabled tuner implies at least a lightweight Telemetry.  The
         # tuner's callback runs at bus publish points — all under the
-        # executor lock, so its state needs no locking of its own.
+        # pool lock, so its state needs no locking of its own.
         from ..tuning import make_autotuner
         self.autotuner = make_autotuner(autotune)
         if self.autotuner is not None and telemetry is None:
             from ..telemetry import Telemetry
             telemetry = Telemetry(metrics=False, chrome=False)
         #: Optional repro.telemetry.Telemetry; all publish points run
-        #: under the executor lock, satisfying the bus serialization
+        #: under the pool lock, satisfying the bus serialization
         #: contract.
         self.telemetry = telemetry
         self._bus = telemetry.bus if telemetry is not None else None
@@ -74,385 +67,89 @@ class ThreadExecutor(Executor, GuardHost):
             self.autotuner.bind(self._bus)
         self.cancel_first_runs = cancel_first_runs
         self.poll_interval = poll_interval
-        #: Guards are woken by events — count publishes, data-cell bumps
-        #: (Coordinator.enable_update_wakeups), scheduled re-runs and
-        #: task completions all notify the condition — so the timed
-        #: waits are a pure safety net, much coarser than the old
-        #: poll_interval wake tick.
-        self.fallback_interval = (fallback_interval
-                                  if fallback_interval is not None
-                                  else max(poll_interval * 25, 0.05))
-        #: ``event_wakeups=False`` reverts to the legacy polling wake
-        #: mechanism (no data-cell subscriptions; guards rediscover
-        #: state on fallback ticks) — kept for A/B benchmarking of the
-        #: event-driven runtime, not for production use.  Pair it with
-        #: ``fallback_interval=poll_interval`` for the historical
-        #: cadence.
-        self.event_wakeups = event_wakeups
         self.timeout = timeout
         #: SchedLab schedule policy.  Real threads cannot be ordered
         #: deterministically, so the policy contributes (a) seeded
-        #: jitter at wake/publish points to amplify interleaving
-        #: diversity and (b) deterministic fan-out order inside the
-        #: Coordinator (which runs under the executor lock).
+        #: jitter at wake/publish points and (b) deterministic fan-out
+        #: order inside the Coordinator (which runs under the lock).
         self.policy = policy
-        #: Optional repro.sched discipline.  The thread backend has no
-        #: central ready queue — guards self-schedule — so a scheduler
-        #: is enforced by gating RUNNING entry behind ``slots``
-        #: concurrent run slots; eligible guards queue with the
-        #: scheduler and are granted slots in its order.  ``None``
-        #: (default) keeps the historical ungated behaviour.
         self.slots = slots if slots is not None else 4
-        if self.slots < 1:
-            raise SchedulerError("thread backend needs at least one slot")
-        self.scheduler = None
-        if scheduler is not None:
-            from ..sched import make_scheduler
-
-            self.scheduler = make_scheduler(scheduler).bind(
-                policy=policy, bus=self._bus, point="core",
-                workers=self.slots)
-        self._slots_free = self.slots
-        #: id(task) -> slot reserved by _grant_slots, unclaimed so far.
-        self._granted: set = set()
-        #: id(task) currently parked in the scheduler's ready queue.
-        self._slot_queued: set = set()
-        self._lock = threading.RLock()
-        self._condition = threading.Condition(self._lock)
-        self._stop = threading.Event()
-        self._submissions: List[Tuple[FluidRegion, Tuple[FluidRegion, ...]]] = []
-        self._done_regions: set = set()
-        self._run_events: Dict[int, threading.Event] = {}
-        self._threads: List[threading.Thread] = []
-        self._epoch = 0.0
+        self._pool = SharedThreadPool(
+            slots=self.slots, scheduler=scheduler, policy=policy,
+            bus=self._bus, poll_interval=poll_interval,
+            fallback_interval=fallback_interval,
+            event_wakeups=event_wakeups, name="thread-backend")
+        #: Optional repro.sched discipline gating RUNNING entry behind
+        #: ``slots`` concurrent run slots; ``None`` (default) keeps the
+        #: historical ungated behaviour.
+        self.scheduler = self._pool.scheduler
+        #: Pool-wide stop event; also interrupts injected jitter sleeps
+        #: (SchedLab relies on setting this directly in tests).
+        self._stop = self._pool._stop
+        self._ctx = RunContext(
+            telemetry=telemetry, autotuner=self.autotuner,
+            modulation=modulation, cancel_first_runs=cancel_first_runs,
+            label="thread-run")
         self._started = False
-        self._body_error: Optional[TaskBodyError] = None
-        self._coordinators: Dict[int, Coordinator] = {}
+
+    # Historical knobs, now owned by the pool but still part of the
+    # executor's public surface.
+
+    @property
+    def fallback_interval(self) -> float:
+        return self._pool.fallback_interval
+
+    @fallback_interval.setter
+    def fallback_interval(self, value: float) -> None:
+        self._pool.fallback_interval = value
+
+    @property
+    def event_wakeups(self) -> bool:
+        return self._pool.event_wakeups
+
+    @property
+    def _submissions(self) -> List[Tuple[FluidRegion, Tuple[FluidRegion, ...]]]:
+        """Legacy per-run submission view (``sync()`` duck-types on it)."""
+        return self._ctx.submissions
 
     # ------------------------------------------------------------- public
 
     def submit(self, region: FluidRegion,
                after: Iterable[FluidRegion] = ()) -> FluidRegion:
-        self._submissions.append((region, tuple(after)))
+        self._ctx.submit(region, after)
         return region
 
     def run(self) -> RunResult:
         if self._started:
             raise SchedulerError("executors are single-shot; build a new one")
         self._started = True
-        self._epoch = time.perf_counter()
-        if self.telemetry is not None:
-            self.telemetry.bind_clock(self.now, 1e6)
-        deadline = self._epoch + self.timeout
-        sink = _NotifyingSink(self)
-        launched: set = set()
+        pool = self._pool
+        pool.reset_epoch()
         try:
-            while True:
-                with self._lock:
-                    for region, after in self._submissions:
-                        if id(region) in launched:
-                            continue
-                        if any(id(dep) not in self._done_regions
-                               for dep in after):
-                            continue
-                        launched.add(id(region))
-                        self._launch_region(region, sink)
-                    if self._body_error is not None:
-                        raise self._body_error
-                    if len(self._done_regions) == len(self._submissions):
-                        break
-                    self._condition.wait(self.fallback_interval)
-                if time.perf_counter() > deadline:
-                    raise SchedulerError(
-                        f"thread backend timed out after {self.timeout}s: "
-                        + self._diagnose())
-            for thread in self._threads:
-                thread.join(self.timeout)
+            pool.start(self._ctx)
+            pool.wait(self._ctx, self.timeout)
         finally:
-            # Release guard threads parked in an injected jitter delay:
-            # shutdown (normal, timeout or body error) must not wait for
-            # a SchedLab sleep to run out.
-            self._stop.set()
+            # Stop and *join* the guard threads on every exit path
+            # (normal, timeout or body error): a long-lived process
+            # running executors back-to-back must not accumulate one
+            # leaked daemon thread per task.  Also releases guards
+            # parked in an injected jitter delay.
+            pool.shutdown(join_timeout=min(self.timeout, 5.0))
             if self.telemetry is not None:
                 self.telemetry.record_autotuner(self.autotuner)
                 self.telemetry.record_scheduler(self.scheduler)
                 # One worker: the GIL serializes the actual computation.
                 self.telemetry.run_finished(self.now(), 1, now=self.now())
-        makespan = time.perf_counter() - self._epoch
-        regions = [region for region, _after in self._submissions]
-        return RunResult(makespan, regions)
+        makespan = time.perf_counter() - pool._epoch
+        return RunResult(makespan, self._ctx.regions)
 
     # ----------------------------------------------------------- plumbing
 
     def now(self) -> float:
-        return time.perf_counter() - self._epoch
-
-    def schedule_run(self, task: FluidTask) -> None:
-        # Called with the executor lock held (Coordinator serialization
-        # contract), so the waiting guard cannot be between its
-        # event-check and its condition wait: setting the event and
-        # notifying under the same lock closes the lost-wakeup window.
-        self._run_events[id(task)].set()
-        self._condition.notify_all()
-
-    def cell_updated(self, data) -> None:
-        """A task body bumped (or finalized) a watched data cell: poke
-        guards blocked in START_CHECK/W so valves over data contents are
-        re-checked now, not at the next fallback tick.  (No injected
-        jitter here: ``on_final`` watchers fire with the lock already
-        held, where a SchedLab sleep would stall every guard.)"""
-        with self._lock:
-            self._condition.notify_all()
-
-    def task_completed(self, task: FluidTask) -> None:
-        region = task.region
-        if region.complete and id(region) not in self._done_regions:
-            self._done_regions.add(id(region))
-            region.stats.makespan = self.now()
-            for sibling in region.tasks:
-                sibling.stats.finish(self.now())
-            if self._bus is not None:
-                self._bus.emit(
-                    "sched", region.name, "", "region-done",
-                    data={"detail": f"makespan={region.stats.makespan:.3f}"})
-                emit_memo_summary(self._bus, region)
-        self._condition.notify_all()
-
-    def admit_dynamic_task(self, region: FluidRegion,
-                           task: FluidTask) -> None:
-        """A running task spawned ``task`` (dynamic graphs, Section 8).
-
-        Called from a guard thread mid-body (outside the lock); guard
-        creation is itself thread-safe."""
-        coordinator = self._coordinators[id(region)]
-        with self._lock:
-            task.stats.enter(TaskState.INIT, self.now())
-            self._run_events[id(task)] = threading.Event()
-            if self.event_wakeups:
-                coordinator.enable_update_wakeups()
-            if self._bus is not None:
-                self._bus.emit("sched", region.name, task.name, "spawn",
-                               data={"detail": "dynamic"})
-        thread = threading.Thread(
-            target=self._guard_main, args=(task, coordinator),
-            name=f"guard-{region.name}-{task.name}", daemon=True)
-        self._threads.append(thread)
-        thread.start()
-
-    def _launch_region(self, region: FluidRegion, sink: UpdateSink) -> None:
-        graph = region.finalize()
-        region.bind_sink(sink)
-        region.dynamic_host = self
-        region.telemetry = self._bus
-        coordinator = Coordinator(self, graph, modulation=self.modulation,
-                                  cancel_first_runs=self.cancel_first_runs,
-                                  policy=self.policy, telemetry=self._bus)
-        if self.event_wakeups:
-            coordinator.enable_update_wakeups()
-        self._coordinators[id(region)] = coordinator
-        if self.autotuner is not None:
-            # Under the executor lock, before any guard thread starts:
-            # the inherited position lands before the first start check.
-            self.autotuner.attach_region(region)
-        if self._bus is not None:
-            self._bus.emit("sched", region.name, "", "launch",
-                           data={"detail": f"{len(graph)} tasks"})
-        for task in graph:
-            task.stats.enter(TaskState.INIT, self.now())
-            self._run_events[id(task)] = threading.Event()
-            thread = threading.Thread(
-                target=self._guard_main, args=(task, coordinator),
-                name=f"guard-{region.name}-{task.name}", daemon=True)
-            self._threads.append(thread)
-            thread.start()
-
-    # --------------------------------------------------------- guard thread
+        return self._pool.now()
 
     def _sleep_jitter(self, point: str) -> None:
-        """Policy-driven chaos: a tiny seeded delay before a wake point.
-
-        The jitter amounts come from the policy's PRNG, so a seed sweep
-        explores a diverse (if not replayable) set of real
-        interleavings; with no policy this is a no-op on the hot path.
-        Sleeps on the executor's stop event, not the wall clock, so
-        shutdown (run() returning, a timeout, a body error) interrupts
-        an in-flight delay instead of hanging for its full length.
-        """
-        if self.policy is None:
-            return
-        delay = self.policy.jitter(point)
-        if delay > 0.0:
-            self._stop.wait(delay)
-
-    # ------------------------------------------------------- slot gating
-
-    def _try_acquire_slot(self, task: FluidTask) -> bool:
-        """Queue ``task`` with the scheduler and try to claim a run slot.
-
-        Called with the lock held, only when a scheduler is configured
-        and the task is otherwise eligible to run.  Every admission goes
-        through ``submit``/``pick`` so the discipline's ordering, pick
-        counts and queue-residence histogram all apply.  Executor
-        submissions are never sheddable: dropping a Fluid task would
-        deadlock its region, so a bounded scheduler parks overflow
-        instead (see repro.sched.BoundedScheduler).
-        """
-        tid = id(task)
-        if tid not in self._granted and tid not in self._slot_queued:
-            self._slot_queued.add(tid)
-            self.scheduler.submit(task, now=self.now())
-        self._grant_slots()
-        if tid in self._granted:
-            self._granted.discard(tid)
-            return True
-        return False
-
-    def _grant_slots(self) -> None:
-        """Hand free slots to the scheduler's picks (lock held).
-
-        Tasks that completed while queued (cascade completion) are
-        skipped without consuming a slot.
-        """
-        while self._slots_free > 0 and self.scheduler.pending():
-            picked = self.scheduler.pick(now=self.now(),
-                                         worker=self._slots_free - 1)
-            if picked is None:
-                break
-            self._slot_queued.discard(id(picked))
-            if picked.state is TaskState.COMPLETE:
-                continue
-            self._slots_free -= 1
-            self._granted.add(id(picked))
-        self._condition.notify_all()
-
-    def _release_slot(self) -> None:
-        """Return a slot and immediately re-grant it (lock held)."""
-        self._slots_free += 1
-        self._grant_slots()
-
-    def _drop_slot_claims(self, task: FluidTask) -> None:
-        """A guard is exiting: free any slot it was granted but never
-        claimed (lock held)."""
-        tid = id(task)
-        if tid in self._granted:
-            self._granted.discard(tid)
-            self._release_slot()
-        self._slot_queued.discard(tid)
-
-    def _guard_main(self, task: FluidTask, coordinator: Coordinator) -> None:
-        """The per-task guard: Figure 5 driven by a real thread."""
-        self._sleep_jitter(f"guard:{task.name}")
-        with self._lock:
-            if task.state is TaskState.INIT:
-                task.transition(TaskState.START_CHECK, self.now())
-            # The valve re-test and the wait both happen under the lock,
-            # and every wake source (count publish, data bump, rerun,
-            # completion) notifies under the same lock, so a bump between
-            # the check and the wait cannot be lost; the timeout is a
-            # pure fallback.
-            while task.state is TaskState.START_CHECK and \
-                    not task.start_valves_satisfied():
-                self._condition.wait(self.fallback_interval)
-        run_event = self._run_events[id(task)]
-        while True:
-            self._sleep_jitter(f"wake:{task.name}")
-            with self._lock:
-                if task.state is TaskState.COMPLETE:
-                    if self.scheduler is not None:
-                        self._drop_slot_claims(task)
-                    return
-                if self.scheduler is not None:
-                    # Gated mode: the guard must win a run slot from the
-                    # scheduler before it may enter RUNNING.  The run
-                    # event is cleared only *after* the slot is granted,
-                    # so a poke that arrives while the guard is queued
-                    # is never lost.
-                    if task.state is TaskState.START_CHECK:
-                        eligible = task.start_valves_satisfied()
-                    elif task.state in (TaskState.WAITING,
-                                        TaskState.DEP_STALLED):
-                        eligible = run_event.is_set()
-                    else:  # pragma: no cover - defensive
-                        eligible = False
-                    if not eligible or not self._try_acquire_slot(task):
-                        self._condition.wait(self.fallback_interval)
-                        continue
-                    # Slot held: re-validate, since the state may have
-                    # moved while the guard sat in the ready queue.
-                    if task.state is TaskState.START_CHECK:
-                        task.transition(TaskState.RUNNING, self.now())
-                    elif task.state in (TaskState.WAITING,
-                                        TaskState.DEP_STALLED) and \
-                            run_event.is_set():
-                        run_event.clear()
-                        task.transition(TaskState.RUNNING, self.now())
-                    else:
-                        self._release_slot()
-                        continue
-                elif task.state is TaskState.START_CHECK:
-                    task.transition(TaskState.RUNNING, self.now())
-                elif task.state in (TaskState.WAITING, TaskState.DEP_STALLED):
-                    if not run_event.is_set():
-                        # schedule_run sets the event and notifies under
-                        # this lock, so the re-test on wake cannot miss
-                        # a poke (lost-wakeup audit); the timeout is a
-                        # fallback only.
-                        self._condition.wait(self.fallback_interval)
-                        continue
-                    run_event.clear()
-                    task.transition(TaskState.RUNNING, self.now())
-                else:  # pragma: no cover - defensive
-                    self._condition.wait(self.fallback_interval)
-                    continue
-                if self._bus is not None:
-                    self._bus.emit(
-                        "sched", task.region.name, task.name, "run",
-                        data={"detail": f"attempt={task.run_index}"})
-                ctx = task.begin_run()
-                generator = task.make_generator(ctx)
-            cancelled = self._consume(task, generator)
-            with self._lock:
-                if self.scheduler is not None:
-                    self._release_slot()
-                if task.state is TaskState.COMPLETE:
-                    return  # completed concurrently (cascade)
-                if cancelled:
-                    coordinator.body_cancelled(task)
-                else:
-                    task.transition(TaskState.END_CHECK, self.now())
-                    coordinator.body_finished(task)
-                self._condition.notify_all()
-
-    def _consume(self, task: FluidTask, generator) -> bool:
-        """Run the body outside the lock; honour cooperative cancellation.
-
-        A body exception is recorded and re-raised from :meth:`run` with
-        task context, instead of silently killing the guard thread."""
-        try:
-            for _cost in generator:
-                if task.cancel_requested:
-                    generator.close()
-                    return True
-        except Exception as exc:
-            region_name = task.region.name if task.region else "?"
-            error = TaskBodyError(region_name, task.name,
-                                  task.run_index, exc)
-            error.__cause__ = exc
-            with self._lock:
-                if self._body_error is None:
-                    self._body_error = error
-                self._condition.notify_all()
-            # Treat the failed run as cancelled so the guard thread winds
-            # down cleanly; run() re-raises the recorded error.
-            return True
-        return False
-
-    # ------------------------------------------------------------- debug
+        self._pool._sleep_jitter(point)
 
     def _diagnose(self) -> str:
-        lines = []
-        for region, _after in self._submissions:
-            for task in region.tasks:
-                if task.state is not TaskState.COMPLETE:
-                    lines.append(f"{region.name}/{task.name}={task.state}")
-        return "; ".join(lines) or "all tasks complete (region bookkeeping?)"
+        return self._ctx.pending_description()

@@ -28,6 +28,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import List, Optional
 
@@ -35,6 +36,8 @@ from ..core.errors import FluidError
 from .faults import KINDS
 from .harness import (MUTATIONS, load_artifact, replay_artifact, sweep)
 from .scenarios import SCENARIOS
+
+_log = logging.getLogger("repro.schedlab")
 
 
 def _parse_fault(text: str) -> dict:
@@ -58,6 +61,10 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.schedlab",
         description="Deterministic schedule exploration + fault injection "
                     "for the Fluid runtime")
+    parser.add_argument("--debug", action="store_true",
+                        help="re-raise runtime errors with their full "
+                             "traceback instead of the one-line error "
+                             "(tracebacks are always logged at debug level)")
     commands = parser.add_subparsers(dest="command", required=True)
 
     sweep_cmd = commands.add_parser(
@@ -199,6 +206,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_replay(options)
         return _cmd_list()
     except FluidError as error:
+        _log.debug("schedlab %s failed", options.command, exc_info=True)
+        if options.debug:
+            raise
         print(f"error: {error}", file=sys.stderr)
         return 3
 

@@ -1,0 +1,107 @@
+"""Backend pools the service can multiplex request contexts over.
+
+The thread backend has a genuinely shared pool
+(:class:`repro.runtime.thread_pool.SharedThreadPool`): one lock, one
+slot gate, one scheduler, many concurrent contexts.  The simulator and
+process backends are single-shot by construction (virtual time only
+advances inside ``run()``; a forked worker pool belongs to one parent
+control loop), so :class:`OneShotPool` adapts them: each admitted
+:class:`~repro.runtime.context.RunContext` is executed on a fresh
+executor, dispatched onto a small pool of dispatcher threads that
+bounds how many run at once.
+
+Both pool shapes expose the same four calls the service uses —
+``start(ctx)`` / ``stop_context(ctx)`` / ``shutdown()`` / ``now()`` —
+with completion always delivered through ``ctx.on_finished``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, Optional
+
+from ..core.errors import SchedulerError
+from ..runtime.context import RunContext
+from ..runtime.executor import make_executor
+
+
+class OneShotPool:
+    """Runs each context on a fresh single-shot executor (sim/process).
+
+    ``workers`` bounds concurrent executor runs; excess contexts queue
+    inside the dispatcher pool.  Cancellation (``stop_context``) is
+    cooperative and coarse: a context that has not started yet is
+    skipped, a running one finishes its executor run (the simulator
+    cannot be interrupted mid-virtual-time; the process backend has its
+    own timeout).
+    """
+
+    def __init__(self, backend: str, workers: int = 2,
+                 executor_options: Optional[Dict[str, Any]] = None,
+                 name: str = "oneshot"):
+        from concurrent.futures import ThreadPoolExecutor
+
+        if backend not in ("sim", "process"):
+            raise SchedulerError(
+                f"OneShotPool hosts 'sim' or 'process' backends, not "
+                f"{backend!r}; the thread backend uses SharedThreadPool")
+        if workers < 1:
+            raise SchedulerError("OneShotPool needs at least one worker")
+        self.backend = backend
+        self.executor_options = dict(executor_options or {})
+        self._dispatchers = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix=f"fluid-{name}")
+        self._epoch = time.perf_counter()
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def now(self) -> float:
+        return time.perf_counter() - self._epoch
+
+    def start(self, ctx: RunContext) -> None:
+        with self._lock:
+            if self._closed:
+                raise SchedulerError(
+                    f"one-shot {self.backend} pool is shut down")
+        ctx.epoch = self.now()
+        self._dispatchers.submit(self._run, ctx)
+
+    def stop_context(self, ctx: RunContext) -> None:
+        ctx.stopped = True
+
+    def shutdown(self, join_timeout: float = 5.0) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._dispatchers.shutdown(wait=True)
+
+    # ------------------------------------------------------------ internal
+
+    def _run(self, ctx: RunContext) -> None:
+        try:
+            if ctx.stopped:
+                raise SchedulerError(
+                    f"context {ctx.label!r} cancelled before dispatch")
+            options = dict(self.executor_options)
+            if ctx.telemetry is not None:
+                options.setdefault("telemetry", ctx.telemetry)
+            if ctx.modulation is not None:
+                options.setdefault("modulation", ctx.modulation)
+            if ctx.cancel_first_runs:
+                options.setdefault("cancel_first_runs", True)
+            executor = make_executor(self.backend, **options)
+            for run in ctx.runs:
+                executor.submit(run.region, after=run.after)
+            executor.run()
+            for run in ctx.runs:
+                run.launched = True
+                run.done = run.region.complete
+        except Exception as error:
+            if ctx.body_error is None:
+                ctx.body_error = error
+        finally:
+            ctx.finished.set()
+            if ctx.on_finished is not None:
+                ctx.on_finished(ctx)

@@ -39,6 +39,12 @@ Event kinds
 ``worker``
     Process-backend pool occupancy: ``dispatch``/``free`` with
     ``data["slot"]``.
+``svc``
+    Service-frontend request lifecycle (:mod:`repro.service`):
+    ``request``/``admit``/``shed``/``dispatch``/``complete``/``fail``;
+    ``data`` carries per-request ``latency``, ``queue_wait``, ``slo``
+    and ``slo_met`` on completion and the batch ``requests`` count on
+    dispatch.  Published only from the service's event-loop thread.
 
 Timestamps are in the publishing executor's clock: virtual cost units
 under the simulator, seconds since the run epoch under the thread and

@@ -44,6 +44,15 @@ Counter catalogue
 ``tune.tightenings``                      adjustments toward serialization
 ``tune.relaxations``                      adjustments toward the base/floor
 ``tune.windows``                          autotuner decision windows closed
+``svc.requests``                          region-execution requests received
+``svc.admitted``                          requests accepted into the queue
+``svc.shed``                              sheddable requests rejected (backpressure)
+``svc.dispatched``                        requests handed to the backend pool
+``svc.batches``                           multi-request batch dispatches
+``svc.batched_requests``                  requests coalesced into those batches
+``svc.completed``                         requests finished successfully
+``svc.failed``                            requests failed (body error/cancel)
+``svc.slo_met`` / ``.slo_missed``         per-request latency-SLO outcomes
 ========================================  =====================================
 
 ``time.*`` counters are in the executor's clock units (virtual cost
@@ -79,6 +88,9 @@ COUNTER_CATALOGUE = (
     "sched.tasks_deferred",
     "tune.adjustments", "tune.tightenings", "tune.relaxations",
     "tune.windows",
+    "svc.requests", "svc.admitted", "svc.shed", "svc.dispatched",
+    "svc.batches", "svc.batched_requests", "svc.completed", "svc.failed",
+    "svc.slo_met", "svc.slo_missed",
 )
 
 #: Bucket boundaries for the scheduler queue-residence histogram.  Wider
@@ -245,6 +257,8 @@ class MetricsRegistry:
                      event.data.get("skipped", 0))
         elif kind == "worker":
             self._on_worker(event)
+        elif kind == "svc":
+            self._on_service(event)
         elif kind == "tune":
             if event.name == "adjust":
                 self.inc("tune.adjustments")
@@ -283,6 +297,42 @@ class MetricsRegistry:
             self.inc("tasks.early_terminations")
         elif event.name == "failed":
             self.inc("tasks.failed_runs")
+
+    def _on_service(self, event: TelemetryEvent) -> None:
+        """Fold ``svc``-kind events (repro.service request lifecycle).
+
+        The ``svc.latency`` and ``svc.queue_wait`` histograms are
+        created lazily on the first completed request, so non-service
+        runs keep their historical histogram key set.
+        """
+        name = event.name
+        if name == "request":
+            self.inc("svc.requests")
+        elif name == "admit":
+            self.inc("svc.admitted")
+        elif name == "shed":
+            self.inc("svc.shed")
+        elif name == "dispatch":
+            requests = int(event.data.get("requests", 1))
+            self.inc("svc.dispatched", requests)
+            if requests > 1:
+                self.inc("svc.batches")
+                self.inc("svc.batched_requests", requests)
+        elif name == "complete":
+            self.inc("svc.completed")
+            latency = event.data.get("latency")
+            if latency is not None:
+                self.observe("svc.latency", latency)
+            wait = event.data.get("queue_wait")
+            if wait is not None:
+                self.observe("svc.queue_wait", wait)
+            slo_met = event.data.get("slo_met")
+            if slo_met is True:
+                self.inc("svc.slo_met")
+            elif slo_met is False:
+                self.inc("svc.slo_missed")
+        elif name == "fail":
+            self.inc("svc.failed")
 
     def _on_worker(self, event: TelemetryEvent) -> None:
         slot = event.data.get("slot")

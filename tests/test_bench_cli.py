@@ -54,3 +54,69 @@ class TestBenchCli:
                            "--quick"]) == 0
         out = capsys.readouterr().out
         assert "normalized to the original" in out
+
+
+class TestDebugFlag:
+    # Satellite regression: spec errors were flattened to str(error)
+    # with the traceback swallowed; --debug must re-raise the original.
+
+    def test_bad_scheduler_spec_is_a_cli_error(self, capsys):
+        import pytest
+
+        with pytest.raises(SystemExit) as info:
+            bench_main(["--scheduler", "bogus-discipline"])
+        assert info.value.code == 2
+        assert "bogus-discipline" in capsys.readouterr().err
+
+    def test_debug_reraises_scheduler_spec_error(self):
+        import pytest
+
+        from repro import SchedulerError
+
+        with pytest.raises(SchedulerError):
+            bench_main(["--scheduler", "bogus-discipline", "--debug"])
+
+    def test_debug_reraises_autotune_spec_error(self):
+        import pytest
+
+        from repro import FluidError
+
+        with pytest.raises(FluidError):
+            bench_main(["--autotune", "bogus-controller", "--debug"])
+
+    def test_traceback_logged_at_debug_level(self, caplog):
+        import logging
+
+        import pytest
+
+        with caplog.at_level(logging.DEBUG, logger="repro.bench"):
+            with pytest.raises(SystemExit):
+                bench_main(["--scheduler", "bogus-discipline"])
+        debug_records = [record for record in caplog.records
+                         if record.levelno == logging.DEBUG
+                         and record.exc_info]
+        assert debug_records, "spec failure must log its traceback"
+
+
+class TestSchedlabDebugFlag:
+    @staticmethod
+    def _bad_artifact(tmp_path):
+        artifact = tmp_path / "stale.json"
+        artifact.write_text(json.dumps({"version": "ancient"}))
+        return str(artifact)
+
+    def test_error_returns_3_without_debug(self, tmp_path, capsys):
+        from repro.schedlab.__main__ import main as schedlab_main
+
+        assert schedlab_main(["replay", self._bad_artifact(tmp_path)]) == 3
+        assert "error:" in capsys.readouterr().err
+
+    def test_debug_reraises_with_traceback(self, tmp_path):
+        import pytest
+
+        from repro import SchedulerError
+        from repro.schedlab.__main__ import main as schedlab_main
+
+        with pytest.raises(SchedulerError):
+            schedlab_main(["--debug", "replay",
+                           self._bad_artifact(tmp_path)])

@@ -68,3 +68,9 @@ class TestExamples:
         assert out.count("outputs ok: True") == 2
         assert "complete: True" in out
         assert "speedup" in out
+
+    def test_fluid_service(self):
+        out = run_example("fluid_service.py")
+        assert "all correct:      True" in out
+        assert "svc.requests           60" in out
+        assert "shed (backpressure):" in out

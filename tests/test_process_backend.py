@@ -340,3 +340,29 @@ class TestSharedMemoryRegions:
         executor.run()
         assert first.output("out") == pipeline_expected(10)
         assert second.output("out") == pipeline_expected(10)
+
+
+class TestShutdownDeadline:
+    def test_hung_workers_share_one_shutdown_deadline(self):
+        # Satellite regression: _shutdown joined each worker for 0.5s
+        # sequentially, so a wedged 4-worker pool took >= 2s to tear
+        # down.  The graceful pass now shares one 0.5s deadline and
+        # stragglers are terminated in one batch.
+        executor = ProcessExecutor(workers=4, timeout=30)
+
+        def hung_worker(slot, inbox):
+            while True:  # pragma: no cover - runs in the forked child
+                time.sleep(60)
+
+        executor._worker_main = hung_worker
+        executor._start_pool()
+        assert all(process.is_alive() for process in executor._processes)
+        start = time.perf_counter()
+        executor._shutdown()
+        elapsed = time.perf_counter() - start
+        assert all(not process.is_alive()
+                   for process in executor._processes), \
+            "hung workers survived shutdown"
+        assert elapsed < 1.8, \
+            f"shutdown took {elapsed:.2f}s; the graceful join must " \
+            "share one deadline across workers, not 0.5s each"

@@ -191,3 +191,22 @@ class TestJitterShutdown:
         region = make_pipeline(n=10, exact_quality=True)
         executor, _result = run_threads(region)
         assert executor._stop.is_set()
+
+
+class TestThreadHygiene:
+    def test_no_thread_growth_across_sequential_runs(self):
+        # Satellite regression: guard threads were daemonized and never
+        # joined, so every run() leaked its guards until interpreter
+        # exit.  Fifty back-to-back runs must leave the thread count
+        # where it started.
+        import threading
+
+        baseline = threading.active_count()
+        for index in range(50):
+            region = make_pipeline(n=6, exact_quality=True,
+                                   name=f"hygiene{index}")
+            run_threads(region)
+            assert region.output("out") == pipeline_expected(6)
+        after = threading.active_count()
+        assert after <= baseline + 1, \
+            f"guard threads leaked: {baseline} before, {after} after"

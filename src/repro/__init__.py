@@ -44,7 +44,8 @@ from .core import (AlwaysValve, CompileError, ConvergenceValve, Count,
                    GraphError, ModulationPolicy, NeverValve, PercentValve,
                    TaskBodyError,
                    PredicateValve, RegionStats, SchedulerError,
-                   StabilityValve, TaskContext, TaskGraph, TaskSpec,
+                   StabilityValve, StalenessValve, TaskContext,
+                   TaskGraph, TaskSpec,
                    TaskState, Valve, ValveError, memoization_enabled,
                    set_memoization, submit_all, submit_chain,
                    submit_stages, sync)
@@ -65,6 +66,7 @@ __all__ = [
     "GraphError", "ModulationPolicy", "NeverValve", "PercentValve",
     "TaskBodyError",
     "PredicateValve", "RegionStats", "SchedulerError", "StabilityValve",
+    "StalenessValve",
     "TaskContext", "TaskGraph", "TaskSpec", "TaskState", "Valve",
     "ValveError", "memoization_enabled", "set_memoization",
     "submit_all", "submit_chain", "submit_stages", "sync",

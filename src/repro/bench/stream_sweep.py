@@ -1,0 +1,265 @@
+"""k x backend x arrival-rate sweep for the streaming-pipeline layer.
+
+``python -m repro.bench.stream_sweep`` runs each streaming app
+(:data:`repro.stream.apps.APPS`) through its 3-stage pipeline for every
+(staleness bound k, backend, arrival rate) cell and reports fig6-style
+latency/accuracy rows: accuracy is measured item-for-item against the
+serial fold reference (a missing item counts as fully wrong), latency
+is the p50 source-to-final-queue delay (virtual time on sim).  The
+``k = 0`` cell of each (app, backend, rate) group doubles as the
+precise baseline the other cells normalize against.
+
+The output document is schema ``repro-bench-baseline/1`` — one row per
+cell, keyed ``<app>/k<k>:<backend>:r<rate>`` — with an extra top-level
+``stream`` section holding per-cell queue telemetry (drops, parks,
+stale reads, max displacement, delivered counts).  ``--check`` turns
+the sweep into the streaming conformance gate (CI's stream-smoke job):
+
+* the ``k = 0`` cell of every group must match the serial reference
+  exactly (output parity and full delivery);
+* no must-deliver item may be lost at any k (delivered + sheds must
+  account for every sheddable-only loss);
+* on the sim backend, p50 latency must be monotone non-increasing in k
+  within each (app, rate) group — relaxing the valve may only help.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional
+
+from ..stream.apps import APPS, StreamApp
+from .baseline import baseline_dict
+from .harness import BenchRow
+
+#: Tolerance for the monotone-latency gate: relaxing k must not *raise*
+#: p50 latency by more than this (virtual cost units), which forgives
+#: tie-breaking noise between cells whose valves bind identically.
+LATENCY_EPSILON = 1e-9
+
+
+def _cell_name(k: float, backend: str, rate: float) -> str:
+    return f"k{k:g}:{backend}:r{rate:g}"
+
+
+def _run_cell(app: StreamApp, items: list, k: float, backend: str,
+              rate: float, window: int) -> dict:
+    """One (app, k, backend, rate) cell; returns the raw measurements."""
+    pipeline = app.pipeline(k=k, window=window)
+    pipeline.interarrival = app.interarrival / rate
+    result = pipeline.run(items, backend=backend)
+    reference = pipeline.run_serial(items)
+    error = app.metric(result.outputs, reference)
+    missing_must = sorted(
+        seq for seq in reference
+        if seq not in result.outputs and
+        (app.must is None or app.must(seq)))
+    p50 = result.percentile_latency(0.5)
+    return {
+        "app": app.name,
+        "cell": _cell_name(k, backend, rate),
+        "k": k,
+        "backend": backend,
+        "rate": rate,
+        "items": len(items),
+        "delivered": result.delivered,
+        "drops": result.drops,
+        "parks": result.parks,
+        "stale_reads": result.stale_reads,
+        "max_displacement": result.max_displacement,
+        "missing_must": missing_must,
+        "error": error,
+        "accuracy": 1.0 - error,
+        "p50_latency": p50,
+        "makespan": result.makespan,
+        "exact": result.outputs == reference,
+        "end_verdicts_ok": all(result.end_verdicts.values()),
+        "counters": (result.valve_checks, result.valve_checks_skipped,
+                     result.reexecutions),
+    }
+
+
+def _make_row(cell: dict, baseline: dict) -> BenchRow:
+    checks, skipped, reexecutions = cell["counters"]
+    base_latency = baseline["p50_latency"] or baseline["makespan"]
+    latency = cell["p50_latency"] or cell["makespan"]
+    return BenchRow(
+        app=cell["app"], input_name=cell["cell"],
+        normalized_latency=(latency / base_latency if base_latency
+                            else 1.0),
+        normalized_accuracy=cell["accuracy"],
+        native_metric="p50_latency", native_value=latency,
+        precise_makespan=base_latency, fluid_makespan=latency,
+        valve_checks=checks, valve_checks_skipped=skipped,
+        reexecutions=reexecutions)
+
+
+def run_sweep(apps: List[str], ks: List[float], backends: List[str],
+              rates: List[float], items: int,
+              window: int) -> "tuple[list, list]":
+    """Run the full grid; returns (BenchRow list, cell-detail list)."""
+    rows: List[BenchRow] = []
+    details: List[dict] = []
+    ks = sorted(set(ks))
+    if 0 not in ks:
+        ks = [0.0] + ks  # the k=0 cell is every group's baseline
+    for app_name in apps:
+        app = APPS[app_name]
+        app_items = app.make_items(items)
+        for backend in backends:
+            for rate in rates:
+                baseline: Optional[dict] = None
+                for k in ks:
+                    cell = _run_cell(app, app_items, k, backend, rate,
+                                     window)
+                    if baseline is None:
+                        baseline = cell
+                    rows.append(_make_row(cell, baseline))
+                    details.append(cell)
+    return rows, details
+
+
+def check_details(details: List[dict]) -> List[str]:
+    """The --check gate: returns human-readable failures (empty = pass)."""
+    failures: List[str] = []
+    groups: Dict[tuple, List[dict]] = {}
+    for cell in details:
+        label = f"{cell['app']}/{cell['cell']}"
+        if cell["k"] == 0:
+            if not cell["exact"]:
+                failures.append(
+                    f"{label}: k=0 output does not match the serial "
+                    "reference exactly")
+            if cell["delivered"] != cell["items"]:
+                failures.append(
+                    f"{label}: k=0 delivered {cell['delivered']} of "
+                    f"{cell['items']} items")
+        if cell["missing_must"]:
+            failures.append(
+                f"{label}: must-deliver items lost: "
+                f"{cell['missing_must'][:5]}")
+        if not cell["end_verdicts_ok"]:
+            failures.append(f"{label}: final end-valve verdicts not all "
+                            "satisfied")
+        groups.setdefault((cell["app"], cell["backend"], cell["rate"]),
+                          []).append(cell)
+    for (app, backend, rate), cells in groups.items():
+        if backend != "sim":
+            continue  # wall-clock latency is noise-bound; sim-only gate
+        cells = sorted(cells, key=lambda cell: cell["k"])
+        for earlier, later in zip(cells, cells[1:]):
+            before = earlier["p50_latency"]
+            after = later["p50_latency"]
+            if before is None or after is None:
+                continue
+            if after > before + LATENCY_EPSILON:
+                failures.append(
+                    f"{app} {backend} r{rate:g}: p50 latency rose from "
+                    f"{before:g} (k={earlier['k']:g}) to {after:g} "
+                    f"(k={later['k']:g}); must be monotone "
+                    "non-increasing in k")
+    return failures
+
+
+def _render(rows: List[BenchRow], details: List[dict]) -> str:
+    by_key = {f"{cell['app']}/{cell['cell']}": cell for cell in details}
+    lines = [f"{'workload':<34} {'norm_lat':>9} {'accuracy':>9} "
+             f"{'p50':>9} {'deliv':>6} {'drops':>6} {'stale':>6}"]
+    for row in rows:
+        cell = by_key[row.key]
+        p50 = cell["p50_latency"]
+        lines.append(
+            f"{row.key:<34} {row.normalized_latency:>9.4f} "
+            f"{row.normalized_accuracy:>9.4f} "
+            f"{(f'{p50:.1f}' if p50 is not None else '-'):>9} "
+            f"{cell['delivered']:>6} {cell['drops']:>6} "
+            f"{cell['stale_reads']:>6}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.stream_sweep",
+        description="staleness k x backend x arrival-rate streaming sweep")
+    parser.add_argument("--apps", default="logagg,topk,frames",
+                        help="comma list from: " + ", ".join(sorted(APPS)))
+    parser.add_argument("--ks", default="0,2,8",
+                        help="comma list of staleness bounds (0 is always "
+                             "included as the per-group baseline)")
+    parser.add_argument("--backends", default="sim",
+                        help="comma list from: sim, thread, process")
+    parser.add_argument("--rates", default="1,2",
+                        help="comma list of arrival-rate multipliers over "
+                             "each app's base interarrival")
+    parser.add_argument("--items", type=int, default=240,
+                        help="items per app stream")
+    parser.add_argument("--window", type=int, default=40,
+                        help="items per window/region")
+    parser.add_argument("--quick", action="store_true",
+                        help="small stream and one rate (CI smoke size)")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write the repro-bench-baseline/1 document "
+                             "(with the extra 'stream' section) here")
+    parser.add_argument("--check", action="store_true",
+                        help="fail unless k=0 is exact, no must-deliver "
+                             "item is lost, and sim p50 latency is "
+                             "monotone non-increasing in k")
+    args = parser.parse_args(argv)
+
+    apps = [name.strip() for name in args.apps.split(",") if name.strip()]
+    for name in apps:
+        if name not in APPS:
+            parser.error(f"unknown app {name!r}; expected one of "
+                         + ", ".join(sorted(APPS)))
+    backends = [name.strip() for name in args.backends.split(",")
+                if name.strip()]
+    for name in backends:
+        if name not in ("sim", "thread", "process"):
+            parser.error(f"unknown backend {name!r}")
+    try:
+        ks = [float(value) for value in args.ks.split(",") if value.strip()]
+        rates = [float(value) for value in args.rates.split(",")
+                 if value.strip()]
+    except ValueError:
+        parser.error(f"--ks/--rates must be numbers")
+    if any(rate <= 0 for rate in rates):
+        parser.error("--rates must be positive")
+    items, window = args.items, args.window
+    if args.quick:
+        items = min(items, 120)
+        rates = rates[:1]
+
+    rows, details = run_sweep(apps, ks, backends, rates, items, window)
+    print(_render(rows, details))
+
+    if args.out:
+        document = baseline_dict(rows, backend=",".join(backends),
+                                 quick=args.quick, memoization=True,
+                                 app="stream")
+        document["stream"] = {
+            "items": items, "window": window,
+            "cells": [dict(cell, counters=list(cell["counters"]))
+                      for cell in details],
+        }
+        with open(args.out, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nwrote {args.out} ({len(rows)} workloads, "
+              f"{len(details)} cells)")
+
+    if args.check:
+        failures = check_details(details)
+        if failures:
+            print("\nstream sweep check FAILED:", file=sys.stderr)
+            for failure in failures:
+                print(f"  - {failure}", file=sys.stderr)
+            return 1
+        print("\nstream sweep check passed: k=0 exact, no must-deliver "
+              "losses, sim p50 latency monotone in k")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,8 +20,8 @@ from .sync import sync
 from .task import FluidTask, TaskContext, TaskSpec
 from .valves import (AlwaysValve, ConvergenceValve, CountValve,
                      DataFinalValve, NeverValve, PercentValve,
-                     PredicateValve, StabilityValve, Valve,
-                     memoization_enabled, set_memoization)
+                     PredicateValve, StabilityValve, StalenessValve,
+                     Valve, memoization_enabled, set_memoization)
 
 __all__ = [
     "Count", "ImmediateSink", "UpdateSink",
@@ -36,5 +36,5 @@ __all__ = [
     "FluidTask", "TaskContext", "TaskSpec",
     "AlwaysValve", "ConvergenceValve", "CountValve", "DataFinalValve",
     "NeverValve", "PercentValve", "PredicateValve", "StabilityValve",
-    "Valve", "memoization_enabled", "set_memoization",
+    "StalenessValve", "Valve", "memoization_enabled", "set_memoization",
 ]

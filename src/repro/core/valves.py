@@ -17,6 +17,10 @@ The stock valves below cover the paper's experiments:
   changed in recent rounds drops below a bound (K-means in Figure 8).
 * :class:`PredicateValve` — an arbitrary user condition, the hook for
   "application-specific" valves promised in Section 3.3.
+* :class:`StalenessValve` — the streaming form of ``ValveCT``: satisfied
+  once at most ``k`` of an expected item population are still missing
+  ("consume input no staler than k"); the valve behind
+  :mod:`repro.stream` stage queues (see docs/streaming.md).
 
 Threshold modulation (Sections 4.4 and 6.1): a user threshold is a
 *minimum*; the runtime may tighten the effective threshold toward full
@@ -246,6 +250,78 @@ class PercentValve(CountValve):
         self.fraction = fraction
         self.total = float(total)
         return super().init(count, fraction * total, max_threshold=total)
+
+
+class StalenessValve(CountValve):
+    """Satisfied once at most ``k`` of ``expected`` items are missing.
+
+    The continuous-operation reading of the paper's ``ValveCT``: a
+    stage queue settles items one by one (delivered or deliberately
+    shed), and a consumer may proceed while up to ``k`` items are still
+    outstanding — "consume input no staler than k".  As a start valve it
+    admits a pipeline stage early; as an end valve it is the quality
+    bound "the committed output misses at most k items".
+
+    Implemented as a :class:`CountValve` with ``threshold = expected -
+    k`` and ``max_threshold = expected``, so everything count valves
+    already have works unchanged: verdict memoization, threshold
+    modulation (:meth:`tighten` moves *k* toward 0, i.e. toward full
+    serialization), and closed-loop autotuning — the
+    :class:`~repro.tuning.ValveAutotuner` actuates the inherited
+    threshold, steering ``k`` between the declared bound and 0.
+    ``k = 0`` is the lossless FIFO setting: all ``expected`` items must
+    be settled, which reproduces precise execution.
+    """
+
+    def __init__(self, count: Count, expected: float, k: float = 0,
+                 name: str = "staleness"):
+        expected = float(expected)
+        k = float(k)
+        if expected < 0:
+            raise ValveError(f"{name}: expected {expected} must be >= 0")
+        if not 0.0 <= k <= expected:
+            raise ValveError(
+                f"{name}: staleness bound k={k} outside [0, {expected:g}]")
+        self.expected = expected
+        super().__init__(count, threshold=expected - k,
+                         max_threshold=expected, name=name)
+
+    def init(self, count: Count, expected: float,  # type: ignore[override]
+             k: float = 0) -> "StalenessValve":
+        """FluidPy two-phase construction: ``v.init(settled, n, k)``."""
+        expected = float(expected)
+        k = float(k)
+        if not 0.0 <= k <= expected:
+            raise ValveError(
+                f"{self.name}: staleness bound k={k} outside "
+                f"[0, {expected:g}]")
+        self.expected = expected
+        return super().init(count, expected - k, max_threshold=expected)
+
+    @property
+    def k(self) -> float:
+        """The *effective* staleness bound under the current threshold.
+
+        Modulation and autotuning move :attr:`threshold` toward
+        ``expected`` (k -> 0); consumers that scale their tolerance with
+        the valve (stage-queue drains) read this, not the constructor
+        argument.
+        """
+        return max(0.0, self.expected - self.threshold)
+
+    @property
+    def base_k(self) -> float:
+        """The user-declared staleness bound (before modulation)."""
+        return max(0.0, self.expected - self.base_threshold)
+
+    def set_k(self, k: float) -> None:
+        """Directly re-point the effective bound (keeps base intact)."""
+        if not 0.0 <= k <= self.expected:
+            raise ValveError(
+                f"{self.name}: staleness bound k={k} outside "
+                f"[0, {self.expected:g}]")
+        self.threshold = self.expected - float(k)
+        self.invalidate_memo()
 
 
 class ConvergenceValve(Valve):

@@ -13,6 +13,14 @@ The :class:`InvariantChecker` installs a transition observer (see
   any schedule's final outputs must bit-match the serial precise run;
   the scenario harness feeds both sides to :func:`check_equivalence`.
 
+It also subscribes to the :mod:`repro.stream` stage-queue observer
+registry for its scope and audits the streaming relaxation contract:
+
+* **Staleness bound** — no drain begins with more unsettled items than
+  the queue's bound, and no serve overtakes more than ``bound`` missing
+  seqs (a forced-true staleness valve breaks exactly this);
+* **Must-delivery** — no must-deliver item is ever shed.
+
 Violations are collected, not raised, so a sweep can report all of them
 and still shrink the schedule afterwards.
 """
@@ -56,10 +64,14 @@ class InvariantChecker:
 
     def __enter__(self) -> "InvariantChecker":
         add_transition_observer(self._observe)
+        from ..stream.queue import add_stream_observer
+        add_stream_observer(self._observe_stream)
         return self
 
     def __exit__(self, *exc_info) -> None:
         remove_transition_observer(self._observe)
+        from ..stream.queue import remove_stream_observer
+        remove_stream_observer(self._observe_stream)
 
     def _observe(self, task, src: TaskState, dst: TaskState) -> None:
         self.transitions.append((task.name, src, dst))
@@ -75,6 +87,30 @@ class InvariantChecker:
                 self.violations.append(InvariantViolation(
                     "multiple-completion", task.name,
                     f"entered COMPLETE {count} times"))
+
+    def _observe_stream(self, event) -> None:
+        """Audit one stage-queue event against the relaxation contract.
+
+        ``begin`` with more unsettled items than the bound means a
+        consumer ran before its staleness valve was honestly satisfied;
+        ``serve`` past the bound means the k-out-of-order limit was
+        broken; a ``drop`` of a must item is never legal.  The bound is
+        the queue's *effective* (possibly autotuned) k at event time.
+        """
+        if event.action == "begin" and event.missing > event.bound:
+            self.violations.append(InvariantViolation(
+                "staleness", event.queue,
+                f"drain began with {event.missing} items unsettled "
+                f"(bound {event.bound:g})"))
+        elif event.action == "serve" and event.displacement > event.bound:
+            self.violations.append(InvariantViolation(
+                "staleness", event.queue,
+                f"seq {event.seq} served {event.displacement} positions "
+                f"out of order (bound {event.bound:g})"))
+        elif event.action == "drop" and event.must:
+            self.violations.append(InvariantViolation(
+                "must-deliver-drop", event.queue,
+                f"must-deliver seq {event.seq} was shed"))
 
     # ------------------------------------------------------ final audit
 

@@ -343,11 +343,52 @@ class BellmanFordScenario(Scenario):
                            lambda: app.extract_output(plan))
 
 
+class StreamScenario(Scenario):
+    """One window of the streaming log-aggregation pipeline.
+
+    A paced source feeds three stages over staleness-relaxed
+    :class:`~repro.stream.StageQueue` edges (bound ``k``).  The
+    invariant checker audits the queue-observer event stream: a
+    ``valve_true`` fault on a stage's start valves makes it consume
+    while more than ``k`` items are unsettled, which surfaces as a
+    ``staleness`` violation — the streaming analogue of the
+    drop-update-signals mutation.  Strict builds use ``k = 0``
+    (lossless FIFO) and must bit-match the serial fold.
+    """
+
+    name = "stream"
+    #: the per-window latency collector and drain bookkeeping live on
+    #: the coordinator side; worker-forked queue state would make the
+    #: process backend's observer stream vacuous, so it is not swept.
+    backends = ("sim", "thread")
+
+    def __init__(self, n: int = 20, k: int = 3):
+        self.n = n
+        self.k = k
+
+    def _pipeline(self, k: float):
+        from ..stream.apps import APPS
+
+        return APPS["logagg"].pipeline(k=k, window=self.n)
+
+    def fresh(self, strict: bool = False) -> ScenarioRun:
+        from ..stream.apps import make_log_items
+
+        pipeline = self._pipeline(0 if strict else self.k)
+        items = make_log_items(self.n)
+        build = pipeline.build_window(0, items,
+                                      pipeline._initial_states())
+        final_queue = build.queues[-1]
+        return _single_region(
+            build.region, lambda: sorted(final_queue.items()))
+
+
 SCENARIOS: Dict[str, Scenario] = {
     scenario.name: scenario
     for scenario in (PipelineScenario(), OvertakeScenario(),
                      DiamondScenario(), RacyScenario(),
-                     KMeansScenario(), BellmanFordScenario())
+                     KMeansScenario(), BellmanFordScenario(),
+                     StreamScenario())
 }
 
 

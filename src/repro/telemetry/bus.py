@@ -45,6 +45,15 @@ Event kinds
     ``data`` carries per-request ``latency``, ``queue_wait``, ``slo``
     and ``slo_met`` on completion and the batch ``requests`` count on
     dispatch.  Published only from the service's event-loop thread.
+``stream``
+    Stage-queue activity (:mod:`repro.stream`): ``put``/``update``
+    (delivery / idempotent rerun rewrite), ``drop`` (sheddable item
+    shed), ``park`` (must-deliver item accepted past capacity),
+    ``begin`` (a consumer drain started; ``data["missing"]`` counts
+    unsettled seqs) and ``serve`` (``data`` carries ``displacement``
+    and ``first``); all carry ``queue``, ``seq``, ``bound`` and
+    ``occupancy``.  Published from task bodies, so on the process
+    backend they land on the *worker's* forked bus, not the parent's.
 
 Timestamps are in the publishing executor's clock: virtual cost units
 under the simulator, seconds since the run epoch under the thread and

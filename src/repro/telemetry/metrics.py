@@ -53,6 +53,11 @@ Counter catalogue
 ``svc.completed``                         requests finished successfully
 ``svc.failed``                            requests failed (body error/cancel)
 ``svc.slo_met`` / ``.slo_missed``         per-request latency-SLO outcomes
+``stream.items_in``                       items delivered into stage queues
+``stream.items_out``                      items first-served to stage consumers
+``stream.stale_reads``                    first serves that overtook a gap
+``stream.drops``                          sheddable items shed under backpressure
+``stream.parks``                          must-deliver items accepted past capacity
 ========================================  =====================================
 
 ``time.*`` counters are in the executor's clock units (virtual cost
@@ -91,6 +96,8 @@ COUNTER_CATALOGUE = (
     "svc.requests", "svc.admitted", "svc.shed", "svc.dispatched",
     "svc.batches", "svc.batched_requests", "svc.completed", "svc.failed",
     "svc.slo_met", "svc.slo_missed",
+    "stream.items_in", "stream.items_out", "stream.stale_reads",
+    "stream.drops", "stream.parks",
 )
 
 #: Bucket boundaries for the scheduler queue-residence histogram.  Wider
@@ -98,6 +105,10 @@ COUNTER_CATALOGUE = (
 #: clock units (virtual cost units under the simulators, seconds under
 #: the real backends), which span several orders of magnitude.
 RESIDENCE_BOUNDS = (1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0, 1e3, 1e4)
+
+#: Bucket boundaries for the stage-queue occupancy histogram: occupancy
+#: is a small item count (bounded by the queue capacity), not a latency.
+OCCUPANCY_BOUNDS = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
 
 #: Guard completion reasons that count as Section-6.1 early termination.
 _EARLY_TERMINATION_REASONS = ("early-termination", "rerun-skipped")
@@ -259,6 +270,8 @@ class MetricsRegistry:
             self._on_worker(event)
         elif kind == "svc":
             self._on_service(event)
+        elif kind == "stream":
+            self._on_stream(event)
         elif kind == "tune":
             if event.name == "adjust":
                 self.inc("tune.adjustments")
@@ -333,6 +346,35 @@ class MetricsRegistry:
                 self.inc("svc.slo_missed")
         elif name == "fail":
             self.inc("svc.failed")
+
+    def _on_stream(self, event: TelemetryEvent) -> None:
+        """Fold ``stream``-kind events (repro.stream stage queues).
+
+        The per-stage ``stream.occupancy`` histogram is created lazily
+        on the first delivery, so non-streaming runs keep their
+        historical histogram key set.  Re-serves from the rerun-based
+        recompute model (``first`` false) and idempotent slot rewrites
+        (``update``) are deliberately not re-counted.
+        """
+        name = event.name
+        if name == "put":
+            self.inc("stream.items_in")
+            self._observe_occupancy(event)
+        elif name == "serve":
+            if event.data.get("first", True):
+                self.inc("stream.items_out")
+                if event.data.get("displacement", 0) > 0:
+                    self.inc("stream.stale_reads")
+        elif name == "drop":
+            self.inc("stream.drops")
+        elif name == "park":
+            self.inc("stream.parks")
+            self._observe_occupancy(event)
+
+    def _observe_occupancy(self, event: TelemetryEvent) -> None:
+        histogram = self.histograms.setdefault(
+            "stream.occupancy", Histogram(OCCUPANCY_BOUNDS))
+        histogram.observe(event.data.get("occupancy", 0))
 
     def _on_worker(self, event: TelemetryEvent) -> None:
         slot = event.data.get("slot")

@@ -44,7 +44,10 @@ start later regions at the operating point earlier epochs learned,
 exactly like ``ModulationPolicy``'s failure pressure.
 
 Only valves with tightening headroom are actuated: ``CountValve`` /
-``PercentValve`` move ``threshold`` within ``[base, max_threshold]``,
+``PercentValve`` move ``threshold`` within ``[base, max_threshold]``
+(this includes :class:`~repro.core.valves.StalenessValve`, whose
+threshold *is* ``expected - k`` — tightening steers the staleness
+bound of an attached :class:`~repro.stream.StageQueue` toward FIFO),
 ``ConvergenceValve`` moves ``window``, ``StabilityValve`` moves
 ``rounds``.  Valves whose ceiling equals their base (plain counts,
 handshake valves) and opaque :class:`~repro.core.valves.PredicateValve`

@@ -32,6 +32,10 @@ GOLDEN_SEED = 0
 CASES = {
     "kmeans": "kmeans_trace.json",
     "bellman_ford": "bellman_ford_trace.json",
+    # One window of the streaming log-aggregation pipeline (3 stages
+    # linked by staleness-bounded StageQueues); pins the source/stage
+    # admission order under the relaxed valves.
+    "stream": "stream_logagg_trace.json",
 }
 
 

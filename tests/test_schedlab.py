@@ -251,6 +251,31 @@ class TestMutationAcceptance:
         assert second.failure == first.failure
         assert second.message == first.message
 
+    def test_forced_staleness_violation_caught_within_200_seeds(self):
+        """Mutation-style acceptance for the streaming audits: force the
+        staleness start valve of the aggregate stage open (a
+        ``valve_true`` fault — the stage drains before its input queue
+        has settled to within k) and the invariant checker must record a
+        staleness violation within the 200-seed budget."""
+        report = sweep(["stream"], seeds=200, policy_name="random",
+                       backend="sim", stop_first=True, shrink=False,
+                       faults=[{"kind": "valve_true", "task": "aggregate",
+                                "valve": "start", "count": 3}])
+        assert report.failures, \
+            "forced-open staleness valve survived 200 seeds undetected"
+        caught = report.failures[0]
+        assert caught.failure == "invariant"
+        assert "staleness" in caught.message
+        assert report.runs <= 200
+
+    def test_stream_scenario_is_clean_without_faults(self):
+        # The converse of the acceptance test above: with honest valves
+        # the streaming audits stay silent, relaxed and strict alike.
+        for strict in (False, True):
+            outcome = run_scenario("stream", backend="sim", strict=strict,
+                                   seed=0)
+            assert outcome.ok, outcome.message
+
     def test_mutations_patch_and_restore_the_coordinator(self):
         from repro.core.guard import Coordinator
         from repro.schedlab.harness import apply_mutation

@@ -21,6 +21,16 @@ from repro.telemetry import Telemetry
 from util import (chain_expected, diamond_expected, make_chain, make_diamond,
                   make_pipeline, pipeline_expected)
 
+# Wall-clock constants, deliberately far from any plausible run time so
+# shared-runner timing noise cannot flip an assertion: an SLO a healthy
+# request must always meet, an SLO nothing can meet (the missed branch
+# is then deterministic), the cancellation deadline for a request that
+# can never start, and the hang ceiling for isolated reference runs.
+SLO_GENEROUS = 300.0
+SLO_IMPOSSIBLE = 1e-9
+STUCK_DEADLINE = 0.4
+ISOLATED_RUN_DEADLINE = 120.0
+
 
 def svc_counters(telemetry):
     return {key: value
@@ -199,10 +209,10 @@ class TestSloAccounting:
                                     telemetry=telemetry) as service:
                 relaxed = await service.submit(
                     make_pipeline(n=6, exact_quality=True),
-                    latency_slo=60.0)
+                    latency_slo=SLO_GENEROUS)
                 strict = await service.submit(
                     make_pipeline(n=6, exact_quality=True),
-                    latency_slo=1e-9)
+                    latency_slo=SLO_IMPOSSIBLE)
                 assert relaxed.slo_met is True
                 assert strict.slo_met is False
 
@@ -261,7 +271,8 @@ class TestFailures:
                                                          name="never")])
 
                 with pytest.raises(SchedulerError):
-                    await service.submit(Stuck("stuck-region"), timeout=0.4)
+                    await service.submit(Stuck("stuck-region"),
+                                         timeout=STUCK_DEADLINE)
                 # The service stays healthy after the cancellation.
                 region = make_pipeline(n=8, exact_quality=True)
                 await service.submit(region)
@@ -294,6 +305,7 @@ class TestConcurrencyPolicy:
             AdmissionQueue(capacity=0)
 
 
+@pytest.mark.stress
 class TestConcurrentRegions:
     def test_100_concurrent_regions_shared_pool(self):
         """Acceptance bar: >= 100 regions in flight over one thread pool."""
@@ -346,6 +358,7 @@ def _build_case(kind, size, name, strict):
             {"ct0": size, "ctl": size, "ctr": size})
 
 
+@pytest.mark.stress
 class TestIsolationFuzz:
     """Satellite: SchedLab-seeded fuzz of per-region isolation.
 
@@ -386,7 +399,7 @@ class TestIsolationFuzz:
         asyncio.run(main())
 
         for region, *_ in isolated:
-            executor = ThreadExecutor(timeout=30)
+            executor = ThreadExecutor(timeout=ISOLATED_RUN_DEADLINE)
             executor.submit(region)
             executor.run()
 
@@ -417,6 +430,7 @@ class TestIsolationFuzz:
                         f"full pass ({value_a}/{value_b} < {floor})"
 
 
+@pytest.mark.stress
 class TestServiceThreadHygiene:
     def test_close_reaps_guard_threads(self):
         async def main():
@@ -467,7 +481,7 @@ class TestLoadgen:
                              "--slots", "2", "--seed", "2",
                              "--out", str(out)]) == 0
         document = load_capacity_document(str(out))
-        assert pick_concurrency(document, latency_slo=60.0) == 2
+        assert pick_concurrency(document, latency_slo=SLO_GENEROUS) == 2
 
     def test_check_sweep_flags_violations(self):
         from repro.service.loadgen import check_sweep

@@ -1,0 +1,269 @@
+"""Hypothesis property tests for the staleness-relaxed stage queue.
+
+The k-out-of-order contract of :class:`repro.stream.StageQueue`, checked
+over arbitrary interleavings of producer puts and consumer drains:
+
+* no item is ever served more than ``k`` positions out of order
+  (``displacement <= k`` on every serve event, for any schedule);
+* a must-deliver item is never dropped, under any capacity pressure;
+* at ``k = 0`` the queue degrades to lossless FIFO: drains serve
+  exactly the contiguous seq prefix, in order, with zero drops;
+* settledness (arrived + shed) is monotone and re-puts are idempotent,
+  which is what makes the rerun-based recompute model safe.
+
+The random-schedule layer mirrors ``test_state_machine_properties``:
+the :class:`~repro.schedlab.invariants.InvariantChecker` subscribes to
+the queue-observer stream, so the same audits that catch injected
+faults in SchedLab sweeps also hold under Hypothesis-driven schedules.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import FluidError
+from repro.schedlab import InvariantChecker
+from repro.stream import DROPPED, QueueEvent, StageQueue, add_stream_observer, \
+    remove_stream_observer
+
+
+def _schedule(data, expected):
+    """Draw an interleaving: a put order plus drain points between them."""
+    order = data.draw(st.permutations(list(range(expected))),
+                      label="put order")
+    drain_after = data.draw(
+        st.sets(st.integers(min_value=0, max_value=expected),
+                max_size=expected // 2 + 1),
+        label="drain points")
+    return order, drain_after
+
+
+class _EventLog:
+    def __init__(self):
+        self.events = []
+
+    def __call__(self, event: QueueEvent) -> None:
+        self.events.append(event)
+
+    def serves(self):
+        return [e for e in self.events if e.action == "serve"]
+
+    def drops(self):
+        return [e for e in self.events if e.action == "drop"]
+
+
+class TestOutOfOrderBound:
+    @given(data=st.data())
+    @settings(max_examples=120, deadline=None)
+    def test_no_serve_exceeds_k_displacement(self, data):
+        """For ANY put/drain interleaving, no served item overtakes more
+        than k missing seqs — the elastic-relaxation contract."""
+        expected = data.draw(st.integers(min_value=1, max_value=12),
+                             label="expected")
+        k = data.draw(st.integers(min_value=0, max_value=expected),
+                      label="k")
+        order, drain_after = _schedule(data, expected)
+        queue = StageQueue("q", expected, bound=k)
+        log = _EventLog()
+        add_stream_observer(log)
+        try:
+            for step, seq in enumerate(order):
+                if step in drain_after:
+                    queue.begin_consume()
+                    queue.drain()
+                queue.put(seq, seq * 10)
+            queue.begin_consume()
+            queue.drain()
+        finally:
+            remove_stream_observer(log)
+        for event in log.serves():
+            assert event.displacement <= k
+        assert queue.max_displacement <= k
+
+    @given(data=st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_invariant_checker_accepts_all_legal_schedules(self, data):
+        """The SchedLab auditor agrees: a *valve-gated* schedule (drains
+        only begin once at most k items are unsettled, as the staleness
+        start valve enforces in a pipeline) never trips the staleness or
+        must-deliver audits."""
+        expected = data.draw(st.integers(min_value=1, max_value=10),
+                             label="expected")
+        k = data.draw(st.integers(min_value=0, max_value=expected),
+                      label="k")
+        order, drain_after = _schedule(data, expected)
+        queue = StageQueue("q", expected, bound=k)
+        with InvariantChecker() as checker:
+            for step, seq in enumerate(order):
+                if step in drain_after and queue.missing_total() <= k:
+                    queue.begin_consume()
+                    queue.drain()
+                queue.put(seq, seq)
+            queue.begin_consume()
+            queue.drain()
+        assert checker.ok, checker.summary()
+
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_invariant_checker_flags_premature_drains(self, data):
+        """The converse: begin a drain while more than k items are
+        unsettled (what a forced-true valve fault causes) and the
+        checker records a staleness violation."""
+        expected = data.draw(st.integers(min_value=2, max_value=10),
+                             label="expected")
+        k = data.draw(st.integers(min_value=0, max_value=expected - 2),
+                      label="k")
+        arrive = data.draw(st.integers(min_value=0,
+                                       max_value=expected - k - 2),
+                           label="arrivals before the premature drain")
+        queue = StageQueue("q", expected, bound=k)
+        with InvariantChecker() as checker:
+            for seq in range(arrive):
+                queue.put(seq, seq)
+            queue.begin_consume()
+            queue.drain()
+        assert not checker.ok
+        assert any(v.kind == "staleness" for v in checker.violations)
+
+
+class TestMustDeliver:
+    @given(data=st.data())
+    @settings(max_examples=120, deadline=None)
+    def test_must_items_survive_any_capacity_pressure(self, data):
+        """However small the capacity and late the consumer, every
+        must-deliver item is present once all puts have landed."""
+        expected = data.draw(st.integers(min_value=1, max_value=12),
+                             label="expected")
+        k = data.draw(st.integers(min_value=0, max_value=expected),
+                      label="k")
+        capacity = data.draw(st.integers(min_value=1, max_value=4),
+                             label="capacity")
+        must = data.draw(st.sets(st.integers(min_value=0,
+                                             max_value=expected - 1)),
+                         label="must seqs")
+        order, drain_after = _schedule(data, expected)
+        queue = StageQueue("q", expected, bound=k, capacity=capacity,
+                           must_seqs=must)
+        log = _EventLog()
+        add_stream_observer(log)
+        try:
+            for step, seq in enumerate(order):
+                if step in drain_after:
+                    queue.begin_consume()
+                    queue.drain()
+                queue.put(seq, seq)
+        finally:
+            remove_stream_observer(log)
+        for seq in must:
+            assert queue.arrived(seq), f"must seq {seq} was lost"
+        for event in log.drops():
+            assert not event.must
+        assert queue.drops() <= k
+        assert queue.must_complete()
+
+    @given(seq=st.integers(min_value=0, max_value=7))
+    @settings(max_examples=20, deadline=None)
+    def test_shed_refuses_must_items(self, seq):
+        queue = StageQueue("q", 8, bound=8)  # every seq is must by default
+        with pytest.raises(FluidError):
+            queue.shed(seq)
+
+
+class TestFifoDegradation:
+    @given(data=st.data())
+    @settings(max_examples=120, deadline=None)
+    def test_k0_serves_exactly_the_contiguous_prefix_in_order(self, data):
+        """k=0 is lossless FIFO: any drain serves the contiguous prefix,
+        in seq order, and nothing is ever dropped."""
+        expected = data.draw(st.integers(min_value=1, max_value=12),
+                             label="expected")
+        capacity = data.draw(st.one_of(
+            st.none(), st.integers(min_value=1, max_value=4)),
+            label="capacity")
+        order, drain_after = _schedule(data, expected)
+        queue = StageQueue("q", expected, bound=0, capacity=capacity,
+                           must_seqs=frozenset())
+        present = set()
+        for step, seq in enumerate(order):
+            if step in drain_after:
+                served = queue.drain()
+                prefix = []
+                probe = 0
+                while probe in present:
+                    prefix.append(probe)
+                    probe += 1
+                assert [s for s, _ in served] == prefix
+            queue.put(seq, seq)
+            present.add(seq)
+        assert queue.drops() == 0
+        final = queue.drain()
+        assert [s for s, _ in final] == list(range(expected))
+        assert queue.max_displacement == 0
+
+    @given(data=st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_drain_is_sorted_and_gap_bounded_for_any_k(self, data):
+        expected = data.draw(st.integers(min_value=1, max_value=12),
+                             label="expected")
+        k = data.draw(st.integers(min_value=0, max_value=expected),
+                      label="k")
+        arrived = data.draw(st.sets(st.integers(min_value=0,
+                                                max_value=expected - 1)),
+                            label="arrived")
+        queue = StageQueue("q", expected, bound=k)
+        for seq in sorted(arrived):
+            queue.put(seq, seq)
+        served = [seq for seq, _ in queue.drain()]
+        assert served == sorted(served)
+        # The walk stops before overtaking gap k+1: every served seq has
+        # at most k missing predecessors.
+        for seq in served:
+            gaps = sum(1 for earlier in range(seq)
+                       if earlier not in arrived)
+            assert gaps <= k
+
+
+class TestSettlednessAndIdempotence:
+    @given(data=st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_reput_is_idempotent_and_settledness_is_monotone(self, data):
+        """Re-executions re-put seqs; totals must not double-count and a
+        shed decision must be monotone (dropped stays dropped)."""
+        expected = data.draw(st.integers(min_value=1, max_value=10),
+                             label="expected")
+        k = data.draw(st.integers(min_value=0, max_value=expected),
+                      label="k")
+        capacity = data.draw(st.one_of(
+            st.none(), st.integers(min_value=1, max_value=3)),
+            label="capacity")
+        must = data.draw(st.sets(st.integers(min_value=0,
+                                             max_value=expected - 1)),
+                         label="must seqs")
+        puts = data.draw(st.lists(
+            st.integers(min_value=0, max_value=expected - 1),
+            min_size=1, max_size=3 * expected), label="puts")
+        queue = StageQueue("q", expected, bound=k, capacity=capacity,
+                           must_seqs=must)
+        last_settled = 0
+        for seq in puts:
+            before_dropped = queue.is_dropped(seq)
+            queue.put(seq, seq)
+            settled = queue.settled_total()
+            assert settled >= last_settled
+            last_settled = settled
+            if before_dropped:
+                assert queue.is_dropped(seq)
+        assert queue.settled_total() == \
+            queue.arrived_total() + queue.drops()
+        assert queue.settled_total() <= expected
+        # Every seq that was ever put is settled one way or the other.
+        for seq in set(puts):
+            assert queue.settled(seq)
+
+    def test_dropped_tombstone_is_not_a_value(self):
+        queue = StageQueue("q", 3, bound=1, capacity=1,
+                           must_seqs=frozenset())
+        queue.put(0, "a")
+        assert queue.put(1, "b") == "drop"
+        assert queue.is_dropped(1)
+        assert DROPPED not in [value for _seq, value in queue.items()]

@@ -17,12 +17,22 @@ the same machine.
 from __future__ import annotations
 
 import json
+import os
 import subprocess
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from .harness import BenchRow
+
+
+class MissingBaselineError(FileNotFoundError):
+    """The ``--compare`` baseline file does not exist.
+
+    A missing baseline means the regression gate cannot gate at all, so
+    callers (the CLI, CI) must fail loudly rather than skip: a silently
+    green gate with no baseline is how regressions ship.
+    """
 
 #: Schema tag written into every baseline file; bump on layout changes.
 SCHEMA = "repro-bench-baseline/1"
@@ -89,7 +99,17 @@ def save_baseline(path: str, rows: List[BenchRow], backend: str,
 
 
 def load_baseline(path: str) -> dict:
-    """Load and schema-check a baseline file."""
+    """Load and schema-check a baseline file.
+
+    Raises :class:`MissingBaselineError` when the file is absent —
+    distinct from a malformed file so callers can tell "restore the
+    committed baseline" apart from "re-record it".
+    """
+    if not os.path.exists(path):
+        raise MissingBaselineError(
+            f"{path}: baseline file not found — the regression gate has "
+            "nothing to gate against; restore the committed baseline or "
+            "re-record one with --save-baseline (docs/benchmarks.md)")
     with open(path, "r", encoding="utf-8") as handle:
         document = json.load(handle)
     if not isinstance(document, dict) or document.get("schema") != SCHEMA:

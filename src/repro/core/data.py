@@ -415,6 +415,223 @@ def import_payload(handle: PayloadHandle) -> Any:
     return handle.load()
 
 
+# --------------------------------------------------------------------------
+# Payload arena: versioned shared-memory slots for recurring dispatch
+# payloads.
+#
+# export_payload() creates one shared-memory segment per large array and
+# transfers ownership with the handle — correct, but a fresh segment
+# (shm_open + mmap + unlink) per dispatch is the dominant IPC cost when
+# the same cells cross the boundary every round.  A PayloadArena instead
+# parks each recurring cell in one *versioned slot* of a long-lived,
+# parent-owned segment: re-exports overwrite the slot in place and the
+# importer copies out without unlinking.
+#
+# Concurrency contract (seqlock): each slot carries a 16-byte header
+# (uint64 generation, uint64 nbytes).  The writer sets the generation odd
+# before copying bytes in and even after; a reader retries while it
+# observes an odd or changing generation.  If retries are exhausted under
+# sustained writes the reader *accepts the possibly-torn copy*: a Fluid
+# consumer is licensed to observe any partial prefix of its producer's
+# progress (PAPER.md §3), and a torn arena read only ever mixes two
+# adjacent versions of the same approximable cell.  Precise/final reads
+# never race — the parent only marks a cell final after the producing
+# run's last flush has been applied parent-side.
+
+#: Slot header size and slot alignment, bytes.
+_ARENA_ALIGN = 16
+
+#: Minimum size of one arena segment (slots for several cells share it).
+_ARENA_SEGMENT_MIN = 1 << 22
+
+#: Importer-side cache of attached arena segments, by shm name.  An
+#: attachment is reused for every read from that segment; detach with
+#: :func:`arena_detach_all` (the pooled workers' reset path).
+_ARENA_SEGMENTS: dict = {}
+
+
+def _arena_attach(name: str):
+    segment = _ARENA_SEGMENTS.get(name)
+    if segment is None:
+        from multiprocessing import shared_memory
+
+        segment = shared_memory.SharedMemory(name=name)
+        # CPython's resource tracker registers shared memory on *attach*
+        # as well as create (no opt-out before 3.13's track= parameter);
+        # left registered, a worker exiting would unlink the parent's
+        # live arena out from under every other process.
+        _disown_shared_memory(segment)
+        _ARENA_SEGMENTS[name] = segment
+    return segment
+
+
+def arena_detach_all() -> None:
+    """Close this process's cached arena attachments (never unlinks)."""
+    for segment in _ARENA_SEGMENTS.values():
+        try:
+            segment.close()
+        except Exception:  # pragma: no cover - platform-specific teardown
+            pass
+    _ARENA_SEGMENTS.clear()
+
+
+class _ArenaSlot:
+    """Parent-side bookkeeping for one cell's slot in the arena."""
+
+    __slots__ = ("segment", "offset", "capacity", "generation")
+
+    def __init__(self, segment, offset: int, capacity: int):
+        self.segment = segment
+        self.offset = offset
+        self.capacity = capacity
+        self.generation = 0
+
+
+class PayloadArena:
+    """Versioned shared-memory slots for a run's recurring payloads.
+
+    Owned by the dispatching (parent) process; :meth:`close` unlinks
+    every segment, so the arena must outlive all handles it exported.
+    Only the parent ever writes; importers copy out under the seqlock
+    protocol described above.
+    """
+
+    def __init__(self, min_segment_bytes: int = _ARENA_SEGMENT_MIN):
+        self._min_segment = min_segment_bytes
+        self._segments: list = []
+        self._cursor = 0
+        self._slots: dict = {}
+        self._closed = False
+
+    @staticmethod
+    def eligible(value: Any) -> bool:
+        """Whether ``value`` is worth a slot (same bar as export_payload's
+        shared-memory path: a large non-object numpy array)."""
+        np = _numpy()
+        return (np is not None and isinstance(value, np.ndarray)
+                and value.dtype != object
+                and value.nbytes >= PAYLOAD_SHM_MIN_BYTES)
+
+    def export(self, key: Any, value: Any) -> "Optional[ArenaSlotPayload]":
+        """Write ``value`` into ``key``'s slot and return a handle.
+
+        Returns None when the value does not qualify (caller falls back
+        to :func:`export_payload`).
+        """
+        if self._closed or not self.eligible(value):
+            return None
+        np = _numpy()
+        contiguous = np.ascontiguousarray(value)
+        slot = self._slots.get(key)
+        if slot is None or slot.capacity < contiguous.nbytes:
+            # A regrown key gets a fresh slot; the old one is left
+            # untouched so in-flight handles keep reading stable bytes.
+            slot = self._allocate(key, contiguous.nbytes)
+        header = np.ndarray((2,), dtype=np.uint64,
+                            buffer=slot.segment.buf, offset=slot.offset)
+        generation = slot.generation + 1
+        header[0] = 2 * generation - 1  # odd: write in progress
+        destination = np.ndarray(contiguous.shape, dtype=contiguous.dtype,
+                                 buffer=slot.segment.buf,
+                                 offset=slot.offset + _ARENA_ALIGN)
+        np.copyto(destination, contiguous)
+        header[1] = contiguous.nbytes
+        header[0] = 2 * generation  # even: settled
+        slot.generation = generation
+        return ArenaSlotPayload(slot.segment.name, slot.offset,
+                                contiguous.shape, contiguous.dtype.str,
+                                generation)
+
+    def _allocate(self, key: Any, nbytes: int) -> _ArenaSlot:
+        capacity = _ARENA_ALIGN
+        while capacity < nbytes:
+            capacity <<= 1
+        total = _ARENA_ALIGN + capacity
+        segment = self._segments[-1] if self._segments else None
+        if segment is None or self._cursor + total > segment.size:
+            from multiprocessing import shared_memory
+
+            segment = shared_memory.SharedMemory(
+                create=True, size=max(self._min_segment, total))
+            self._segments.append(segment)
+            self._cursor = 0
+        slot = _ArenaSlot(segment, self._cursor, capacity)
+        self._cursor += total
+        self._slots[key] = slot
+        return slot
+
+    def close(self) -> None:
+        """Unlink every segment; outstanding handles become unreadable."""
+        if self._closed:
+            return
+        self._closed = True
+        self._slots = {}
+        for segment in self._segments:
+            try:
+                segment.close()
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._segments = []
+
+    @property
+    def segment_count(self) -> int:
+        return len(self._segments)
+
+
+class ArenaSlotPayload(PayloadHandle):
+    """A numpy array parked in a :class:`PayloadArena` slot.
+
+    Unlike :class:`SharedArrayPayload`, ownership does *not* travel with
+    the handle: :meth:`load` copies the bytes out of the (parent-owned,
+    reusable) slot without unlinking, and :meth:`discard` is a no-op.
+    """
+
+    __slots__ = ("shm_name", "offset", "shape", "dtype_str", "generation")
+
+    #: Seqlock read attempts before accepting a possibly-torn copy.
+    _READ_RETRIES = 4
+
+    def __init__(self, shm_name: str, offset: int, shape, dtype_str: str,
+                 generation: int):
+        self.shm_name = shm_name
+        self.offset = offset
+        self.shape = tuple(shape)
+        self.dtype_str = dtype_str
+        self.generation = generation
+
+    def load(self) -> Any:
+        np = _numpy()
+        segment = _arena_attach(self.shm_name)
+        header = np.ndarray((2,), dtype=np.uint64, buffer=segment.buf,
+                            offset=self.offset)
+        view = np.ndarray(self.shape, dtype=np.dtype(self.dtype_str),
+                          buffer=segment.buf,
+                          offset=self.offset + _ARENA_ALIGN)
+        value = None
+        for _attempt in range(self._READ_RETRIES):
+            before = int(header[0])
+            value = view.copy()
+            if int(header[0]) == before and before % 2 == 0:
+                return value
+        # Sustained parent writes exhausted the retries: accept the
+        # possibly-torn (or fresher-than-dispatched) copy — exactly the
+        # relaxation Fluid licenses for non-final cells.
+        return value
+
+    def discard(self) -> None:
+        """Nothing to release: the parent owns and reuses the slot."""
+
+    def __getstate__(self):
+        return (self.shm_name, self.offset, self.shape, self.dtype_str,
+                self.generation)
+
+    def __setstate__(self, state):
+        (self.shm_name, self.offset, shape, self.dtype_str,
+         self.generation) = state
+        self.shape = tuple(shape)
+
+
 def payload_nbytes(handle: PayloadHandle) -> int:
     """Approximate transport size of a payload handle, in bytes.
 
@@ -424,7 +641,7 @@ def payload_nbytes(handle: PayloadHandle) -> int:
     """
     import sys
 
-    if isinstance(handle, SharedArrayPayload):
+    if isinstance(handle, (SharedArrayPayload, ArenaSlotPayload)):
         cells = 1
         for extent in handle.shape:
             cells *= extent

@@ -22,10 +22,13 @@ from .simulator import Overheads, SimExecutor, SimResult
 from .thread_backend import ThreadExecutor
 from .thread_pool import SharedThreadPool
 from .tracing import Trace, TraceEvent
+from .worker_pool import PersistentProcessPool, pool_blob
 
 __all__ = [
-    "BACKENDS", "EventQueue", "Executor", "RegionRun", "RunContext",
-    "RunResult", "SharedThreadPool", "make_executor", "run_serial",
+    "BACKENDS", "EventQueue", "Executor", "PersistentProcessPool",
+    "RegionRun", "RunContext",
+    "RunResult", "SharedThreadPool", "make_executor", "pool_blob",
+    "run_serial",
     "Overheads", "ProcessExecutor", "SimExecutor", "SimResult",
     "ThreadExecutor", "Trace", "TraceEvent",
 ]

@@ -18,10 +18,49 @@ parent (control loop)
     modulation.  Owns the authoritative ``FluidData``/``Count`` objects.
 
 workers (forked processes)
-    Execute one task body at a time against their own forked copies of
-    the region objects.  Inputs/outputs/counts are (re)installed from
-    parent snapshots at dispatch; count updates and payload writes are
+    Execute task bodies serially against their own copies of the region
+    objects.  Inputs/outputs/counts are (re)installed from parent
+    snapshots at dispatch; count updates and payload writes are
     streamed back in chunk-boundary batches.
+
+Batched dispatch
+----------------
+
+When more tasks are ready than workers are idle, the parent coalesces
+up to ``batch_size`` ready bodies into one worker round-trip (one
+``("runs", ...)`` message), amortizing the queue/pickle cost that
+dominates small-body workloads.  Scheduler-pick order is preserved —
+batch items are exactly the next picks the scheduler would have made —
+and per-task events (``sched``/``run``, ``worker``/``dispatch``,
+``payload``/``to-worker``) are still emitted individually, so golden
+traces and SchedLab replay are unaffected.  Each dispatch carries a
+unique ``dispatch_id``; every worker message echoes it, which makes the
+parent robust to stale messages from respawned or re-leased workers.
+Cancellation stays advisory: the per-slot cancel flag holds the
+dispatch_id to abandon (or ``-1`` for *everything*), checked at item
+start and at every chunk boundary.
+
+Payload arena
+-------------
+
+Large recurring payload cells are shipped through a per-run
+:class:`~repro.core.data.PayloadArena` — one shared-memory segment with
+a versioned, seqlock-guarded slot per cell — instead of a fresh
+segment per payload (see ``core/data.py`` for the read/write contract).
+The arena covers the dispatch direction only; worker flushes still use
+:func:`~repro.core.data.export_payload` ownership-transfer segments.
+
+Persistent pools
+----------------
+
+With ``pool=`` a :class:`~repro.runtime.worker_pool.PersistentProcessPool`,
+the executor leases long-lived workers instead of forking its own:
+``FluidService`` and windowed ``repro.stream`` pipelines stop paying a
+fork per request/window.  Pool workers fork *before* any region exists,
+so each region must provide a picklable ``remote_factory`` (see
+:class:`~repro.core.region.FluidRegion`); the factory is installed once
+per run.  A worker that crashes mid-run is respawned and its in-flight
+tasks are re-dispatched instead of failing the run.
 
 Data crosses the boundary as picklable snapshots
 (:func:`~repro.core.data.export_payload`); large numpy payloads ride
@@ -34,12 +73,16 @@ element write immediately, a worker publishes at chunk boundaries,
 batched to at most one flush per ``flush_interval`` seconds.  A
 concurrent consumer therefore sees the producer's payload as of the
 last flush — a coarser but still monotonically-growing prefix, which is
-exactly the relaxation Fluid licenses.
+exactly the relaxation Fluid licenses.  Batching coarsens one more
+thing: a batch item transitions to RUNNING at dispatch, so its RUNNING
+interval includes time queued behind its batch-mates, and its input
+snapshots are taken at dispatch time.
 
 Requirements and limits (see docs/runtime-semantics.md for the matrix):
 
 * ``fork`` start method (POSIX only) — bodies are closures, inherited
-  rather than pickled;
+  rather than pickled (pool mode rebuilds them from the region's
+  ``remote_factory`` instead);
 * honest guard tuples — a body may only read/write the cells declared
   in its ``inputs``/``outputs`` (already a Fluid rule; here it is what
   makes snapshot installation correct);
@@ -53,13 +96,15 @@ from __future__ import annotations
 
 import logging
 import os
+import pickle
 import queue as queue_module
 import time
 import traceback
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..core.count import RecordingSink
-from ..core.data import import_payload, payload_nbytes
+from ..core.data import (PayloadArena, arena_detach_all, import_payload,
+                         payload_nbytes)
 from ..core.errors import SchedulerError, TaskBodyError
 from ..core.guard import Coordinator, GuardHost, ModulationPolicy
 from ..core.region import FluidRegion
@@ -71,7 +116,164 @@ from .executor import Executor, RunResult, emit_memo_summary
 #: Worker -> parent message kinds.
 _PROGRESS, _FINISHED, _CANCELLED, _ERROR = "progress", "finished", "cancelled", "error"
 
+#: Cancel-flag sentinel: abandon every in-flight item on the slot (used
+#: when a leased pool is reclaimed); positive values target one
+#: dispatch_id, 0 means no cancellation is requested.
+_CANCEL_ALL = -1
+
+#: Seconds a pool reclaim waits for cancelled workers to come back
+#: before respawning them.
+_RECLAIM_GRACE = 2.0
+
+#: Crash-respawn budget per slot per run: beyond this the run fails
+#: (a region whose install/body crashes deterministically would
+#: otherwise respawn forever).
+_MAX_RESPAWNS = 3
+
 logger = logging.getLogger(__name__)
+
+
+class _WorkerLoop:
+    """Worker-side run loop, shared by forked and pooled workers.
+
+    A forked (single-shot) worker resolves regions out of its inherited
+    copy of the executor state via ``resolve``; a pool worker forked
+    before any region existed rebuilds them from ``("install", ...)``
+    factory blobs instead.  Either way the loop serves ``("runs", ...)``
+    batches serially, streaming chunk-boundary flushes back on the
+    shared outbox as 7-tuples::
+
+        (kind, slot, dispatch_id, region_index, task_index,
+         records_or_excrepr, payloads_or_traceback)
+    """
+
+    def __init__(self, slot: int, outbox, cancel_flags,
+                 resolve: Optional[Callable[[int], FluidRegion]] = None):
+        self.slot = slot
+        self.outbox = outbox
+        self.cancel_flags = cancel_flags
+        self.sink = RecordingSink()
+        self.regions: Dict[int, FluidRegion] = {}
+        self._resolve = resolve
+
+    def serve(self, inbox) -> None:
+        while True:
+            message = inbox.get()
+            if message is None:
+                return
+            kind = message[0]
+            if kind == "runs":
+                _kind, flush_interval, items = message
+                for item in items:
+                    self._run_item(flush_interval, item)
+            elif kind == "install":
+                self.install(message[1], message[2])
+            elif kind == "reset":
+                self.reset()
+
+    # -- region management -------------------------------------------------
+
+    def install(self, region_index: int, blob: bytes) -> None:
+        """Rebuild a region from its pickled ``remote_factory`` triple."""
+        factory, args, kwargs = pickle.loads(blob)
+        region = factory(*args, **kwargs)
+        region.finalize()
+        region.bind_sink(self.sink)
+        self.regions[region_index] = region
+
+    def reset(self) -> None:
+        """Forget all regions and arena attachments between pool leases.
+
+        Region indices are a per-run namespace, and each run owns a
+        fresh payload arena, so neither may leak across leases.
+        """
+        self.regions.clear()
+        arena_detach_all()
+
+    def _region(self, region_index: int) -> FluidRegion:
+        region = self.regions.get(region_index)
+        if region is None:
+            if self._resolve is None:
+                raise RuntimeError(
+                    f"no region installed at index {region_index}")
+            # The worker's forked copy finalizes independently; build()
+            # must therefore be structurally deterministic (the graphs
+            # in this repo all are).
+            region = self._resolve(region_index)
+            region.finalize()
+            region.bind_sink(self.sink)
+            self.regions[region_index] = region
+        return region
+
+    # -- body execution ----------------------------------------------------
+
+    def _run_item(self, flush_interval: float, item: Tuple) -> None:
+        dispatch_id, region_index, task_index, run_index, payloads, counts = \
+            item
+        region = self._region(region_index)
+        for name, (value, updates) in counts.items():
+            count = region.counts[name]
+            # Monotone install: a batch-mate that already ran on this
+            # worker may have advanced the local count past the parent's
+            # dispatch-time snapshot; never regress it.
+            if updates >= count.updates:
+                count.install_state(value, updates)
+        for name, handle in payloads.items():
+            region.datas[name].apply_payload(import_payload(handle),
+                                             bump=False)
+        task = region.tasks[task_index]
+        self._run_body(flush_interval, dispatch_id, region_index, task_index,
+                       run_index, task)
+
+    def _cancelled(self, dispatch_id: int) -> bool:
+        flag = self.cancel_flags[self.slot]
+        return flag == dispatch_id or flag == _CANCEL_ALL
+
+    def _run_body(self, flush_interval: float, dispatch_id: int,
+                  region_index: int, task_index: int, run_index: int,
+                  task: FluidTask) -> None:
+        outbox = self.outbox
+        slot = self.slot
+        if self._cancelled(dispatch_id):
+            # Cancelled while still queued behind its batch-mates.
+            outbox.put((_CANCELLED, slot, dispatch_id, region_index,
+                        task_index, self.sink.drain(), {}))
+            return
+        task.run_index = run_index
+        task.cancel_requested = False
+        task.state = TaskState.RUNNING  # worker-local; parent is authoritative
+        self.sink.drain()  # drop anything buffered outside a body
+        versions = {data.name: data.version for data in task.spec.outputs}
+        last_flush = time.monotonic()
+        try:
+            generator = task.make_generator(TaskContext(task))
+            for _cost in generator:
+                if self._cancelled(dispatch_id):
+                    task.cancel_requested = True
+                    generator.close()
+                    outbox.put((_CANCELLED, slot, dispatch_id, region_index,
+                                task_index, self.sink.drain(), {}))
+                    return
+                now = time.monotonic()
+                if now - last_flush >= flush_interval:
+                    last_flush = now
+                    payloads = {}
+                    for data in task.spec.outputs:
+                        if data.version != versions[data.name]:
+                            versions[data.name] = data.version
+                            payloads[data.name] = data.export_payload()
+                    if self.sink.buffer or payloads:
+                        outbox.put((_PROGRESS, slot, dispatch_id,
+                                    region_index, task_index,
+                                    self.sink.drain(), payloads))
+        except Exception as exc:
+            outbox.put((_ERROR, slot, dispatch_id, region_index, task_index,
+                        repr(exc), traceback.format_exc()))
+            return
+        payloads = {data.name: data.export_payload()
+                    for data in task.spec.outputs}
+        outbox.put((_FINISHED, slot, dispatch_id, region_index, task_index,
+                    self.sink.drain(), payloads))
 
 
 class ProcessExecutor(Executor, GuardHost):
@@ -80,7 +282,8 @@ class ProcessExecutor(Executor, GuardHost):
     Parameters
     ----------
     workers:
-        Pool size; defaults to ``os.cpu_count()``.
+        Pool size; defaults to ``os.cpu_count()`` (with ``pool=`` the
+        pool's size wins).
     flush_interval:
         Minimum seconds between a worker's mid-run publications of count
         updates and payload snapshots.  Smaller values tighten the
@@ -96,6 +299,20 @@ class ProcessExecutor(Executor, GuardHost):
         worker's process sentinel closing — so this only bounds how
         stale the deadline check can get; default
         ``max(poll_interval * 20, 0.1)``.
+    batch_size:
+        Maximum ready tasks coalesced into one worker round-trip.  The
+        parent only batches when more tasks are queued than workers are
+        idle (breadth-first dispatch is never sacrificed for batching);
+        ``1`` reproduces the historical one-task-per-message protocol.
+    payload_arena:
+        Ship large recurring dispatch payloads through a per-run
+        :class:`~repro.core.data.PayloadArena` instead of a fresh
+        shared-memory segment per payload.
+    pool:
+        A :class:`~repro.runtime.worker_pool.PersistentProcessPool` to
+        lease workers from instead of forking a private pool.  Requires
+        every submitted region to carry a picklable ``remote_factory``.
+        The executor stays single-shot; the pool outlives it.
     """
 
     def __init__(self, workers: Optional[int] = None,
@@ -108,11 +325,22 @@ class ProcessExecutor(Executor, GuardHost):
                  policy: Optional[object] = None,
                  telemetry: Optional[object] = None,
                  scheduler: Optional[object] = None,
-                 autotune: Optional[object] = None):
+                 autotune: Optional[object] = None,
+                 batch_size: int = 8,
+                 payload_arena: bool = True,
+                 pool: Optional[object] = None):
         if workers is not None and workers < 1:
             raise SchedulerError("need at least one worker process")
-        self.workers = workers or (os.cpu_count() or 1)
+        if batch_size < 1:
+            raise SchedulerError("batch_size must be at least 1")
+        self._pool = pool
+        if pool is not None:
+            self.workers = pool.workers
+        else:
+            self.workers = workers or (os.cpu_count() or 1)
         self.modulation = modulation
+        self.batch_size = batch_size
+        self.payload_arena = payload_arena
         # Closed-loop SLO autotuning (repro.tuning): parent-side, like
         # the guards — valves live in the parent, so actuations need no
         # IPC.  A tuner needs a bus, hence the lightweight Telemetry.
@@ -163,12 +391,29 @@ class ProcessExecutor(Executor, GuardHost):
         self._task_index: Dict[int, Tuple[int, int]] = {}
         self._queued: set = set()
         self._idle: List[int] = []
-        self._slot_task: Dict[int, FluidTask] = {}
+        #: In-flight dispatches: dispatch_id -> (task, slot).  Messages
+        #: whose dispatch_id is unknown are stale (respawned worker,
+        #: previous pool lease) and are discarded.
+        self._inflight: Dict[int, Tuple[FluidTask, int]] = {}
+        #: id(task) -> its live dispatch_id (for cancellation routing).
+        self._task_dispatch: Dict[int, int] = {}
+        #: slot -> dispatch_ids still in flight there (dispatch order).
+        self._slot_ids: Dict[int, List[int]] = {}
         #: Delta-aware payload export: per slot, the parent-side version
         #: of each cell as of its last shipment to that worker.  A cell
         #: whose version is unchanged is skipped at dispatch — the
-        #: worker's forked copy already holds identical content.
+        #: worker's copy already holds identical content.
         self._shipped: Dict[int, Dict[Tuple[int, str], int]] = {}
+        #: Pool mode: pickled region factories by run index, re-sent to
+        #: respawned workers.
+        self._region_blobs: Dict[int, bytes] = {}
+        self._respawns: Dict[int, int] = {}
+        self._dispatch_counter = 0
+        #: Created lazily on the first arena-eligible export, so code
+        #: paths that never ship a large array never touch shared
+        #: memory (and unit tests may drive _start_pool/_shutdown bare).
+        self._arena: Optional[PayloadArena] = None
+        self._leased = False
         self._epoch = 0.0
         self._started = False
         self._error: Optional[Exception] = None
@@ -236,9 +481,17 @@ class ProcessExecutor(Executor, GuardHost):
 
     def request_cancel(self, task: FluidTask) -> None:
         super().request_cancel(task)
-        for slot, running in self._slot_task.items():
-            if running is task:
-                self._cancel_flags[slot] = 1
+        dispatch_id = self._task_dispatch.get(id(task))
+        if dispatch_id is None:
+            return
+        entry = self._inflight.get(dispatch_id)
+        if entry is not None:
+            # One flag per slot: a second cancellation on the same slot
+            # overwrites the first.  Cancellation is advisory (a body
+            # may finish before noticing the flag on every backend), so
+            # the overwritten run simply completes and the parent-side
+            # guard disposes of the result.
+            self._cancel_flags[entry[1]] = dispatch_id
 
     def task_completed(self, task: FluidTask) -> None:
         run = self._task_run[id(task)]
@@ -267,6 +520,23 @@ class ProcessExecutor(Executor, GuardHost):
     # ----------------------------------------------------- pool lifecycle
 
     def _start_pool(self) -> None:
+        if self._pool is not None:
+            # Lease before run() starts the clock: waiting for another
+            # context to release the pool must not consume this run's
+            # timeout budget.
+            self._pool.lease()
+            self._leased = True
+            self._context = self._pool.context
+            self._outbox = self._pool.outbox
+            self._cancel_flags = self._pool.cancel_flags
+            # Alias (never copy) the pool's lists: respawn() swaps the
+            # crashed slot's entries in place and the executor must
+            # observe the fresh process and inbox.
+            self._inboxes = self._pool.inboxes
+            self._processes = self._pool.processes
+            self._idle = list(range(self.workers))
+            self._slot_ids = {slot: [] for slot in range(self.workers)}
+            return
         import multiprocessing
 
         if "fork" not in multiprocessing.get_all_start_methods():
@@ -277,7 +547,8 @@ class ProcessExecutor(Executor, GuardHost):
         context = multiprocessing.get_context("fork")
         self._context = context
         self._outbox = context.Queue()
-        self._cancel_flags = context.Array("b", self.workers, lock=False)
+        # "q" (int64), not "b": the flag carries a dispatch_id.
+        self._cancel_flags = context.Array("q", self.workers, lock=False)
         for slot in range(self.workers):
             inbox = context.Queue()
             process = context.Process(
@@ -291,38 +562,105 @@ class ProcessExecutor(Executor, GuardHost):
         for process in self._processes:
             process.start()
         self._idle = list(range(self.workers))
+        self._slot_ids = {slot: [] for slot in range(self.workers)}
 
     def _shutdown(self) -> None:
-        for inbox in self._inboxes:
-            try:
-                inbox.put_nowait(None)
-            except (ValueError, OSError, queue_module.Full):
-                pass  # queue already closed/broken or worker gone
-            except Exception:
-                logger.exception("unexpected error sending worker shutdown")
-        # One deadline covers the whole pool: joining N workers
-        # sequentially with a per-process timeout used to stall shutdown
-        # for N x timeout when the pool was wedged.  Workers that miss
-        # the graceful window are terminated in one pass, then killed in
-        # one pass, each pass sharing a single (shorter) deadline.
-        self._join_all(self._processes, 0.5)
-        stragglers = [p for p in self._processes if p.is_alive()]
-        for process in stragglers:
-            process.terminate()
-        self._join_all(stragglers, 0.5)
-        stubborn = [p for p in stragglers if p.is_alive()]
-        for process in stubborn:  # pragma: no cover - stubborn worker
-            process.kill()
-        self._join_all(stubborn, 0.5)
-        self._discard_pending_events()
-        for channel in self._inboxes + ([self._outbox] if self._outbox else []):
-            try:
-                channel.cancel_join_thread()
-                channel.close()
-            except (ValueError, OSError):
-                pass  # already closed
-            except Exception:
-                logger.exception("unexpected error closing worker queue")
+        try:
+            if self._pool is not None:
+                if self._leased:
+                    self._reclaim_pool()
+                return
+            for inbox in self._inboxes:
+                try:
+                    inbox.put_nowait(None)
+                except (ValueError, OSError, queue_module.Full):
+                    pass  # queue already closed/broken or worker gone
+                except Exception:
+                    logger.exception(
+                        "unexpected error sending worker shutdown")
+            # One deadline covers the whole pool: joining N workers
+            # sequentially with a per-process timeout used to stall
+            # shutdown for N x timeout when the pool was wedged.
+            # Workers that miss the graceful window are terminated in
+            # one pass, then killed in one pass, each pass sharing a
+            # single (shorter) deadline.
+            self._join_all(self._processes, 0.5)
+            stragglers = [p for p in self._processes if p.is_alive()]
+            for process in stragglers:
+                process.terminate()
+            self._join_all(stragglers, 0.5)
+            stubborn = [p for p in stragglers if p.is_alive()]
+            for process in stubborn:  # pragma: no cover - stubborn worker
+                process.kill()
+            self._join_all(stubborn, 0.5)
+            self._discard_pending_events()
+            for channel in self._inboxes + ([self._outbox]
+                                            if self._outbox else []):
+                try:
+                    channel.cancel_join_thread()
+                    channel.close()
+                except (ValueError, OSError):
+                    pass  # already closed
+                except Exception:
+                    logger.exception("unexpected error closing worker queue")
+        finally:
+            # After worker teardown/reclaim: queued items may still
+            # reference arena slots until then.
+            if self._arena is not None:
+                self._arena.close()
+                self._arena = None
+
+    def _reclaim_pool(self) -> None:
+        """Return leased workers to the pool in a reusable state.
+
+        Cancels anything still in flight, waits briefly for the workers
+        to come back, respawns the wedged or dead ones, and resets every
+        worker's region/arena caches (region indices are a per-run
+        namespace).
+        """
+        pool = self._pool
+        try:
+            for slot, ids in self._slot_ids.items():
+                if ids:
+                    self._cancel_flags[slot] = _CANCEL_ALL
+
+            def busy() -> List[int]:
+                return [slot for slot, ids in self._slot_ids.items()
+                        if ids and self._processes[slot].is_alive()]
+
+            deadline = time.perf_counter() + _RECLAIM_GRACE
+            while busy() and time.perf_counter() < deadline:
+                try:
+                    message = self._outbox.get(timeout=0.05)
+                except (queue_module.Empty, OSError, ValueError):
+                    continue
+                if not message:
+                    continue
+                kind, slot, dispatch_id = message[:3]
+                if kind in (_PROGRESS, _FINISHED, _CANCELLED):
+                    for handle in message[6].values():
+                        handle.discard()
+                if kind in (_FINISHED, _CANCELLED, _ERROR):
+                    ids = self._slot_ids.get(slot)
+                    if ids and dispatch_id in ids:
+                        ids.remove(dispatch_id)
+            for slot in range(self.workers):
+                if self._slot_ids.get(slot) or \
+                        not self._processes[slot].is_alive():
+                    pool.respawn(slot)
+                    self._slot_ids[slot] = []
+                self._cancel_flags[slot] = 0
+            for inbox in self._inboxes:
+                try:
+                    inbox.put_nowait(("reset",))
+                except Exception:  # pragma: no cover - torn-down queue
+                    pass
+            self._discard_pending_events()
+            self._inflight.clear()
+            self._task_dispatch.clear()
+        finally:
+            self._leased = False
+            pool.release()
 
     @staticmethod
     def _join_all(processes, timeout: float) -> None:
@@ -344,17 +682,78 @@ class ProcessExecutor(Executor, GuardHost):
             except (queue_module.Empty, OSError, ValueError):
                 return
             if message and message[0] in (_PROGRESS, _FINISHED, _CANCELLED):
-                for handle in message[5].values():
+                for handle in message[6].values():
                     handle.discard()
 
     def _check_workers(self) -> None:
-        for slot, task in list(self._slot_task.items()):
+        for slot, ids in list(self._slot_ids.items()):
+            if not ids:
+                continue
             process = self._processes[slot]
-            if not process.is_alive():
-                run = self._task_run[id(task)]
-                raise SchedulerError(
-                    f"worker {slot} died (exit code {process.exitcode}) "
-                    f"while running {run.region.name}/{task.name}")
+            if process.is_alive():
+                continue
+            if self._pool is not None:
+                self._respawn_slot(slot)
+                continue
+            task = self._inflight[ids[0]][0]
+            run = self._task_run[id(task)]
+            raise SchedulerError(
+                f"worker {slot} died (exit code {process.exitcode}) "
+                f"while running {run.region.name}/{task.name}")
+
+    def _respawn_slot(self, slot: int) -> None:
+        """Replace a crashed pool worker and re-dispatch its tasks."""
+        process = self._processes[slot]
+        self._respawns[slot] = self._respawns.get(slot, 0) + 1
+        if self._respawns[slot] > _MAX_RESPAWNS:
+            raise SchedulerError(
+                f"pool worker {slot} crashed {self._respawns[slot]} times "
+                f"(last exit code {process.exitcode}); giving up")
+        if self._bus is not None:
+            self._bus.emit("worker", "", "", "respawn",
+                           data={"slot": slot,
+                                 "exitcode": process.exitcode})
+        ids = list(self._slot_ids.get(slot, ()))
+        tasks: List[FluidTask] = []
+        for dispatch_id in ids:
+            entry = self._inflight.pop(dispatch_id, None)
+            if entry is None:
+                continue
+            task = entry[0]
+            if self._task_dispatch.get(id(task)) == dispatch_id:
+                del self._task_dispatch[id(task)]
+            tasks.append(task)
+        self._slot_ids[slot] = []
+        # The crashed body dirtied its local copies without a terminal
+        # event; nothing shipped to this slot can be trusted.
+        self._shipped.pop(slot, None)
+        self._pool.respawn(slot)
+        self._cancel_flags[slot] = 0
+        self._install_blobs(slot)
+        redispatch: List[FluidTask] = []
+        for task in tasks:
+            if task.state is TaskState.COMPLETE:
+                continue  # completed by a cascade while in flight
+            run = self._task_run[id(task)]
+            if task.cancel_requested:
+                # The worker died before acknowledging the cancellation;
+                # resolve it parent-side exactly as a _CANCELLED reply
+                # would have.
+                run.coordinator.body_cancelled(task)
+                continue
+            if task.state is TaskState.RUNNING:
+                redispatch.append(task)
+        if redispatch:
+            # Same run_index (RUNNING has no backward arc in Figure 5;
+            # this is a retry of the same attempt, not a re-execution).
+            self._send_batch(slot, redispatch, fresh=False)
+        elif slot not in self._idle:
+            self._idle.append(slot)
+
+    def _install_blobs(self, slot: int) -> None:
+        """(Re)send every launched region's factory to one pool worker."""
+        for region_index, blob in self._region_blobs.items():
+            self._inboxes[slot].put(("install", region_index, blob))
 
     # ------------------------------------------------- admission/dispatch
 
@@ -374,6 +773,19 @@ class ProcessExecutor(Executor, GuardHost):
         region = run.region
         graph = region.finalize()
         region.telemetry = self._bus
+        if self._pool is not None:
+            from .worker_pool import pool_blob
+
+            blob = pool_blob(region)
+            if blob is None:
+                raise SchedulerError(
+                    f"region {region.name!r} cannot run on a persistent "
+                    "pool: it has no picklable remote_factory (pool "
+                    "workers fork before regions exist; see "
+                    "docs/runtime-semantics.md)")
+            self._region_blobs[run.index] = blob
+            for inbox in self._inboxes:
+                inbox.put(("install", run.index, blob))
         run.launch_time = self.now()
         run.coordinator = Coordinator(self, graph, modulation=self.modulation,
                                       cancel_first_runs=self.cancel_first_runs,
@@ -410,21 +822,38 @@ class ProcessExecutor(Executor, GuardHost):
 
     def _dispatch_ready(self) -> None:
         while self._idle and self.scheduler.pending():
-            # _send_run pops the *last* idle slot, so that is the worker
-            # hint a work-stealing discipline should see.
-            task = self.scheduler.pick(now=self.now(), worker=self._idle[-1])
-            if task is None:
+            # _send_batch takes the *last* idle slot, so that is the
+            # worker hint a work-stealing discipline should see.
+            slot = self._idle[-1]
+            # Batch only when more work is queued than workers are idle:
+            # ceil(queued / idle) keeps dispatch breadth-first, so
+            # batching never leaves a worker empty-handed.  batch_size=1
+            # reproduces the historical one-task-per-message dispatch.
+            cap = max(1, min(self.batch_size,
+                             -(-len(self._queued) //
+                               max(1, len(self._idle)))))
+            batch: List[FluidTask] = []
+            declined = False
+            while len(batch) < cap and self.scheduler.pending():
+                task = self.scheduler.pick(now=self.now(), worker=slot)
+                if task is None:
+                    declined = True
+                    break
+                self._queued.discard(id(task))
+                if task.state not in (TaskState.START_CHECK,
+                                      TaskState.WAITING,
+                                      TaskState.DEP_STALLED):
+                    continue  # completed (or started) while queued
+                if self._skip_pointless_rerun(task):
+                    continue
+                if task.state is TaskState.START_CHECK and \
+                        not task.start_valves_satisfied():
+                    continue  # non-monotone valve flipped back off
+                batch.append(task)
+            if batch:
+                self._send_batch(slot, batch)
+            if declined:
                 break
-            self._queued.discard(id(task))
-            if task.state not in (TaskState.START_CHECK, TaskState.WAITING,
-                                  TaskState.DEP_STALLED):
-                continue  # completed (or started) while queued
-            if self._skip_pointless_rerun(task):
-                continue
-            if task.state is TaskState.START_CHECK and \
-                    not task.start_valves_satisfied():
-                continue  # non-monotone valve flipped back off
-            self._send_run(task)
 
     def _skip_pointless_rerun(self, task: FluidTask) -> bool:
         """Early termination before the body even starts (Section 6.1)."""
@@ -435,51 +864,102 @@ class ProcessExecutor(Executor, GuardHost):
             return True
         return False
 
-    def _send_run(self, task: FluidTask) -> None:
-        slot = self._idle.pop()
-        region_index, task_index = self._task_index[id(task)]
-        region = self._runs[region_index].region
-        self._slot_task[slot] = task
-        self._cancel_flags[slot] = 0
-        task.transition(TaskState.RUNNING, self.now())
-        task.begin_run()
+    def _next_dispatch_id(self) -> int:
+        if self._pool is not None:
+            # Pool-global ids: unique across leases, so a stale message
+            # from a previous lease can never alias a live dispatch.
+            return self._pool.next_dispatch_id()
+        self._dispatch_counter += 1
+        return self._dispatch_counter
+
+    def _send_batch(self, slot: int, tasks: List[FluidTask],
+                    fresh: bool = True) -> None:
+        if fresh:
+            self._idle.remove(slot)
+            self._cancel_flags[slot] = 0  # slot was idle: flag is stale
         shipped = self._shipped.setdefault(slot, {})
-        payloads = {}
-        skipped = 0
-        for data in tuple(task.spec.inputs) + tuple(task.spec.outputs):
-            if data.name in payloads:
-                continue
-            key = (region_index, data.name)
-            if shipped.get(key) == data.version:
-                # Unchanged since the last shipment to this worker; its
-                # copy already holds identical bytes.  (Cells a body ran
-                # against on this slot are forgotten when the run ends,
-                # so worker-local dirt can never satisfy this test.)
-                skipped += 1
-                continue
-            payloads[data.name] = data.export_payload()
-            shipped[key] = data.version
-        counts = {name: count.export_state()
-                  for name, count in region.counts.items()}
-        self._inboxes[slot].put(
-            ("run", region_index, task_index, task.run_index, payloads, counts))
+        ids = self._slot_ids.setdefault(slot, [])
+        items = []
+        # Cells produced by an earlier item of this batch: never ship
+        # the parent's (older) snapshot over them — by the time a later
+        # item installs its payloads, the worker-local copy is fresher.
+        produced: set = set()
+        for task in tasks:
+            dispatch_id = self._next_dispatch_id()
+            region_index, task_index = self._task_index[id(task)]
+            region = self._runs[region_index].region
+            self._inflight[dispatch_id] = (task, slot)
+            self._task_dispatch[id(task)] = dispatch_id
+            ids.append(dispatch_id)
+            if fresh:
+                task.transition(TaskState.RUNNING, self.now())
+                task.begin_run()
+            payloads = {}
+            skipped = 0
+            for data in tuple(task.spec.inputs) + tuple(task.spec.outputs):
+                if data.name in payloads:
+                    continue
+                key = (region_index, data.name)
+                if key in produced:
+                    skipped += 1
+                    continue
+                if shipped.get(key) == data.version:
+                    # Unchanged since the last shipment to this worker;
+                    # its copy already holds identical bytes.  (Cells a
+                    # body ran against on this slot are forgotten when
+                    # the run ends, so worker-local dirt can never
+                    # satisfy this test.)
+                    skipped += 1
+                    continue
+                payloads[data.name] = self._export_cell(key, data)
+                shipped[key] = data.version
+            counts = {name: count.export_state()
+                      for name, count in region.counts.items()}
+            for data in task.spec.outputs:
+                produced.add((region_index, data.name))
+            items.append((dispatch_id, region_index, task_index,
+                          task.run_index, payloads, counts))
+            if self._bus is not None:
+                if fresh:
+                    self._bus.emit("sched", region.name, task.name, "run",
+                                   data={"detail":
+                                         f"attempt={task.run_index}"})
+                self._bus.emit("worker", region.name, task.name, "dispatch",
+                               data={"slot": slot})
+                self._bus.emit(
+                    "payload", region.name, task.name, "to-worker",
+                    data={"bytes": sum(payload_nbytes(handle)
+                                       for handle in payloads.values()),
+                          "cells": len(payloads), "skipped": skipped})
+        self._inboxes[slot].put(("runs", self.flush_interval, items))
         if self._bus is not None:
-            self._bus.emit("sched", region.name, task.name, "run",
-                           data={"detail": f"attempt={task.run_index}"})
-            self._bus.emit("worker", region.name, task.name, "dispatch",
-                           data={"slot": slot})
-            self._bus.emit(
-                "payload", region.name, task.name, "to-worker",
-                data={"bytes": sum(payload_nbytes(handle)
-                                   for handle in payloads.values()),
-                      "cells": len(payloads), "skipped": skipped})
-        self._maybe_kill_worker(region, task, slot)
+            first_region = self._runs[
+                self._task_index[id(tasks[0])][0]].region
+            self._bus.emit("worker", first_region.name, "", "batch",
+                           data={"slot": slot, "size": len(items)})
+        if fresh:
+            for task in tasks:
+                region = self._runs[self._task_index[id(task)][0]].region
+                self._maybe_kill_worker(region, task, slot)
+
+    def _export_cell(self, key: Tuple[int, str], data) -> object:
+        """Export one cell for dispatch, through the arena when it fits."""
+        if self.payload_arena:
+            value = data.read()
+            if self._arena is None and PayloadArena.eligible(value):
+                self._arena = PayloadArena()
+            if self._arena is not None:
+                handle = self._arena.export(key, value)
+                if handle is not None:
+                    return handle
+        return data.export_payload()
 
     def _maybe_kill_worker(self, region: FluidRegion, task: FluidTask,
                            slot: int) -> None:
         """SchedLab fault injection: SIGKILL the worker a task was just
         dispatched to, exercising the parent's dead-worker detection
-        (``_check_workers`` surfaces it as a SchedulerError)."""
+        (``_check_workers`` surfaces it as a SchedulerError, or as a
+        respawn in pool mode)."""
         fault_plan = getattr(region, "fault_plan", None)
         if fault_plan is None or not fault_plan.should_kill_worker(task):
             return
@@ -511,7 +991,14 @@ class ProcessExecutor(Executor, GuardHost):
         messages; the ``fallback_interval`` bound keeps the caller's
         deadline check live even if no event ever arrives."""
         reader = getattr(self._outbox, "_reader", None)
-        if reader is None:  # pragma: no cover - non-CPython Queue layout
+        if reader is None:
+            # ``Queue._reader`` is a private CPython detail (the read
+            # end of the queue's pipe); spawn-only platforms, alternate
+            # interpreters or a future CPython may not expose it.  Fall
+            # back to a timed get(): correctness is identical, wakeups
+            # are poll-granular instead of event-driven, and a dead
+            # worker is noticed by _check_workers rather than by its
+            # sentinel.
             try:
                 message = self._outbox.get(timeout=self.poll_interval)
             except queue_module.Empty:
@@ -521,7 +1008,7 @@ class ProcessExecutor(Executor, GuardHost):
         from multiprocessing.connection import wait as connection_wait
 
         sentinels = [self._processes[slot].sentinel
-                     for slot in self._slot_task]
+                     for slot, ids in self._slot_ids.items() if ids]
         try:
             ready = connection_wait([reader] + sentinels,
                                     timeout=self.fallback_interval)
@@ -530,16 +1017,25 @@ class ProcessExecutor(Executor, GuardHost):
         return reader in ready
 
     def _apply_event(self, message: Tuple) -> None:
-        kind, slot, region_index, task_index = message[:4]
+        kind, slot, dispatch_id, region_index, task_index = message[:5]
+        entry = self._inflight.get(dispatch_id)
+        if entry is None:
+            # Stale: the dispatch was dropped by a respawn, or belongs
+            # to a previous lease of a shared pool.  Release transport
+            # resources and move on.
+            if kind in (_PROGRESS, _FINISHED, _CANCELLED):
+                for handle in message[6].values():
+                    handle.discard()
+            return
+        task = entry[0]
         run = self._runs[region_index]
-        task = run.region.tasks[task_index]
         if self._bus is not None:
-            if kind in (_PROGRESS, _FINISHED) and message[5]:
+            if kind in (_PROGRESS, _FINISHED) and message[6]:
                 self._bus.emit(
                     "payload", run.region.name, task.name, "from-worker",
                     data={"bytes": sum(payload_nbytes(handle)
-                                       for handle in message[5].values()),
-                          "cells": len(message[5])})
+                                       for handle in message[6].values()),
+                          "cells": len(message[6])})
             if kind in (_FINISHED, _CANCELLED, _ERROR):
                 self._bus.emit("worker", run.region.name, task.name, "free",
                                data={"slot": slot})
@@ -548,26 +1044,37 @@ class ProcessExecutor(Executor, GuardHost):
                 # Completed by a cascade while the body was still
                 # running: a late flush must not clear `final` on cells
                 # nobody will produce again.
-                for handle in message[5].values():
+                for handle in message[6].values():
                     handle.discard()
             else:
-                self._apply_payloads(run.region, message[5])
-            self._replay_counts(run.region, message[4])
+                self._apply_payloads(run.region, message[6])
+            self._replay_counts(run.region, message[5])
             return
-        # Terminal events give the worker slot back.  Forget the run's
-        # output cells from the slot's shipped-version memo: the body
-        # mutated its local copies, and a cancelled/errored run dirties
-        # them *without* a parent-side version bump, so equality of
-        # versions must not be trusted for them on the next dispatch.
+        # Terminal events retire the dispatch.  Forget the run's output
+        # cells from the slot's shipped-version memo: the body mutated
+        # its local copies, and a cancelled/errored run dirties them
+        # *without* a parent-side version bump, so equality of versions
+        # must not be trusted for them on the next dispatch.
+        self._inflight.pop(dispatch_id, None)
+        if self._task_dispatch.get(id(task)) == dispatch_id:
+            del self._task_dispatch[id(task)]
+        ids = self._slot_ids.get(slot)
+        if ids is not None and dispatch_id in ids:
+            ids.remove(dispatch_id)
         shipped = self._shipped.get(slot)
         if shipped is not None:
             for data in task.spec.outputs:
                 shipped.pop((region_index, data.name), None)
-        self._slot_task.pop(slot, None)
-        self._cancel_flags[slot] = 0
-        self._idle.append(slot)
+        if self._cancel_flags[slot] == dispatch_id:
+            # Only the cancelled dispatch's own terminal clears the
+            # flag: a flag re-aimed at a batch-mate must survive until
+            # the worker reaches that item.
+            self._cancel_flags[slot] = 0
+        if not ids:
+            # The whole batch is accounted for; the worker is idle.
+            self._idle.append(slot)
         if kind == _ERROR:
-            exc_repr, tb_text = message[4], message[5]
+            exc_repr, tb_text = message[5], message[6]
             cause = RuntimeError(f"{exc_repr}\n{tb_text}")
             error = TaskBodyError(run.region.name, task.name,
                                   task.run_index, cause)
@@ -578,24 +1085,24 @@ class ProcessExecutor(Executor, GuardHost):
             # Completed concurrently by a cascade while the body was
             # still running remotely; its output will never be consumed,
             # but the count observations are real — replay them.
-            for handle in message[5].values():
+            for handle in message[6].values():
                 handle.discard()
-            self._replay_counts(run.region, message[4])
+            self._replay_counts(run.region, message[5])
             return
         if kind == _FINISHED:
             # Order matters (mirrors the simulator's _body_done): install
             # the final payloads, mark outputs final via body_finished,
             # and only then publish the last count batch, so a consumer
             # whose valve flips on the final update observes final data.
-            self._apply_payloads(run.region, message[5])
+            self._apply_payloads(run.region, message[6])
             task.transition(TaskState.END_CHECK, self.now())
             run.coordinator.body_finished(task)
-            self._replay_counts(run.region, message[4])
+            self._replay_counts(run.region, message[5])
         elif kind == _CANCELLED:
-            for handle in message[5].values():
+            for handle in message[6].values():
                 handle.discard()
             run.coordinator.body_cancelled(task)
-            self._replay_counts(run.region, message[4])
+            self._replay_counts(run.region, message[5])
 
     def _apply_payloads(self, region: FluidRegion, payloads: Dict) -> None:
         for name, handle in payloads.items():
@@ -610,69 +1117,9 @@ class ProcessExecutor(Executor, GuardHost):
 
     def _worker_main(self, slot: int, inbox) -> None:
         """Entry point of one forked worker: run bodies, stream updates."""
-        sink = RecordingSink()
-        prepared: set = set()
-        while True:
-            message = inbox.get()
-            if message is None:
-                return
-            _kind, region_index, task_index, run_index, payloads, counts = \
-                message
-            region = self._runs[region_index].region
-            if region_index not in prepared:
-                # The worker's forked copy finalizes independently;
-                # build() must therefore be structurally deterministic
-                # (the graphs in this repo all are).
-                region.finalize()
-                region.bind_sink(sink)
-                prepared.add(region_index)
-            for name, (value, updates) in counts.items():
-                region.counts[name].install_state(value, updates)
-            for name, handle in payloads.items():
-                region.datas[name].apply_payload(import_payload(handle),
-                                                 bump=False)
-            task = region.tasks[task_index]
-            self._worker_run_body(slot, region_index, task_index, run_index,
-                                  task, sink)
-
-    def _worker_run_body(self, slot: int, region_index: int, task_index: int,
-                         run_index: int, task: FluidTask,
-                         sink: RecordingSink) -> None:
-        outbox = self._outbox
-        task.run_index = run_index
-        task.cancel_requested = False
-        task.state = TaskState.RUNNING  # worker-local; parent is authoritative
-        sink.drain()  # drop anything buffered outside a body
-        versions = {data.name: data.version for data in task.spec.outputs}
-        last_flush = time.monotonic()
-        try:
-            generator = task.make_generator(TaskContext(task))
-            for _cost in generator:
-                if self._cancel_flags[slot]:
-                    task.cancel_requested = True
-                    generator.close()
-                    outbox.put((_CANCELLED, slot, region_index, task_index,
-                                sink.drain(), {}))
-                    return
-                now = time.monotonic()
-                if now - last_flush >= self.flush_interval:
-                    last_flush = now
-                    payloads = {}
-                    for data in task.spec.outputs:
-                        if data.version != versions[data.name]:
-                            versions[data.name] = data.version
-                            payloads[data.name] = data.export_payload()
-                    if sink.buffer or payloads:
-                        outbox.put((_PROGRESS, slot, region_index, task_index,
-                                    sink.drain(), payloads))
-        except Exception as exc:
-            outbox.put((_ERROR, slot, region_index, task_index,
-                        repr(exc), traceback.format_exc()))
-            return
-        payloads = {data.name: data.export_payload()
-                    for data in task.spec.outputs}
-        outbox.put((_FINISHED, slot, region_index, task_index,
-                    sink.drain(), payloads))
+        loop = _WorkerLoop(slot, self._outbox, self._cancel_flags,
+                           resolve=lambda index: self._runs[index].region)
+        loop.serve(inbox)
 
     # ------------------------------------------------------------- debug
 
@@ -684,6 +1131,9 @@ class ProcessExecutor(Executor, GuardHost):
             for task in run.region.tasks:
                 if task.state is not TaskState.COMPLETE:
                     lines.append(f"{run.region.name}/{task.name}={task.state}")
-        busy = ", ".join(f"worker{slot}={task.name}"
-                         for slot, task in self._slot_task.items())
+        busy = ", ".join(
+            f"worker{slot}=" + ",".join(
+                self._inflight[did][0].name
+                for did in ids if did in self._inflight)
+            for slot, ids in sorted(self._slot_ids.items()) if ids)
         return "; ".join(lines) + (f" [busy: {busy}]" if busy else "")

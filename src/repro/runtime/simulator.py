@@ -175,6 +175,11 @@ class SimExecutor(Executor, GuardHost):
         # is insertion order, keeping runs deterministic.
         self._watchers: Dict[int, Dict[int, FluidTask]] = {}
         self._generators: Dict[int, Any] = {}
+        # Per-task chunk event keys, built once per task: _advance runs
+        # once per yielded chunk, and rebuilding ``f"chunk:{name}"``
+        # there (a property read plus an f-string) was the simulator's
+        # single hottest line under cProfile.
+        self._chunk_keys: Dict[int, str] = {}
         self._guards_launched = 0
         self._started = False
 
@@ -199,8 +204,9 @@ class SimExecutor(Executor, GuardHost):
             self.telemetry.bind_clock(lambda: self._now, 1.0)
         try:
             self._try_admissions()
-            while self._queue:
-                time, callback = self._queue.pop()
+            queue = self._queue
+            while queue:
+                time, callback = queue.pop()
                 self._now = time
                 callback()
         finally:
@@ -387,14 +393,18 @@ class SimExecutor(Executor, GuardHost):
     # ------------------------------------------------------------- body
 
     def _begin_run(self, task: FluidTask) -> None:
-        self._queued.discard(id(task))
-        self._task_core[id(task)] = self._free_core_ids.pop()
+        key = id(task)
+        self._queued.discard(key)
+        self._task_core[key] = self._free_core_ids.pop()
         task.transition(TaskState.RUNNING, self._now)
         ctx = task.begin_run()
         generator = task.make_generator(ctx)
-        self._generators[id(task)] = generator
-        self._record("run", task.region.name if task.region else "",
-                      task.name, f"attempt={task.run_index}")
+        self._generators[key] = generator
+        if key not in self._chunk_keys:
+            self._chunk_keys[key] = f"chunk:{task.name}"
+        if self._bus is not None:
+            self._record("run", task.region.name if task.region else "",
+                         task.name, f"attempt={task.run_index}")
         self._advance(task)
 
     def _advance(self, task: FluidTask) -> None:
@@ -426,7 +436,7 @@ class SimExecutor(Executor, GuardHost):
                 f"task {task.name!r} yielded a negative cost {cost}")
         self._queue.push(self._now + cost,
                          lambda: self._chunk_done(task, captured),
-                         key=f"chunk:{task.name}")
+                         key=self._chunk_keys[id(task)])
 
     def _chunk_done(self, task: FluidTask,
                     captured: List[Tuple[Count, Any]]) -> None:
@@ -457,6 +467,10 @@ class SimExecutor(Executor, GuardHost):
     # ---------------------------------------------------------- updates
 
     def _publish(self, captured: List[Tuple[Count, Any]]) -> None:
+        if not captured:
+            # Most chunks of compute-heavy bodies publish nothing;
+            # skip the per-chunk set/list churn for them.
+            return
         woken: Set[int] = set()
         to_wake: List[FluidTask] = []
         for count, value in captured:

@@ -1,0 +1,222 @@
+"""Persistent worker pools: forked processes that outlive one executor.
+
+:class:`~repro.runtime.process_backend.ProcessExecutor` is single-shot:
+it forks its workers, runs its regions, and tears the pool down.  That
+is the right lifecycle for one batch run, but ``FluidService`` and the
+windowed ``repro.stream`` pipelines build a fresh process context per
+request/window — paying a fork, a scheduler warm-up and a pool teardown
+every time, which swamps small task bodies.
+
+A :class:`PersistentProcessPool` is the standard reuse pattern (loky,
+``concurrent.futures``): fork a set of generic workers once, then
+*lease* them to a sequence of one-shot executors.  Because the workers
+fork before any region exists, they cannot inherit task-body closures;
+each region must instead provide a picklable ``remote_factory`` —
+``(callable, args, kwargs)`` with a module-level callable that rebuilds
+a structurally identical region (see
+:class:`~repro.core.region.FluidRegion`).  :func:`pool_blob` checks a
+region's factory for picklability so callers can fall back to the
+fork-per-run path before committing.
+
+Lifecycle contract
+------------------
+
+* ``lease()`` / ``release()`` — exclusive: one executor drives the
+  workers at a time (serializing process contexts also avoids
+  oversubscribing the physical cores the pool was sized to).  The
+  executor resets every worker's region/arena caches before releasing.
+* ``respawn(slot)`` — replaces a crashed worker with a fresh process
+  *and a fresh inbox* (items queued to the dead worker must not replay
+  on its replacement), swapping both into the shared lists in place so
+  a leasing executor's aliases stay live.
+* ``next_dispatch_id()`` — pool-global dispatch ids, unique across
+  leases, so stale messages from a previous lease can never alias a
+  live dispatch.
+* ``close()`` — terminates the workers; idempotent.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import pickle
+import queue as queue_module
+import threading
+import time
+from typing import List, Optional
+
+from ..core.errors import SchedulerError
+from ..core.region import FluidRegion
+
+logger = logging.getLogger(__name__)
+
+
+def pool_blob(region: FluidRegion) -> Optional[bytes]:
+    """Pickle a region's ``remote_factory`` for pool-worker installation.
+
+    Returns None when the region has no factory or the factory does not
+    pickle — the caller's cue to fall back to fork-per-run dispatch.
+    """
+    factory = getattr(region, "remote_factory", None)
+    if factory is None:
+        return None
+    try:
+        return pickle.dumps(factory)
+    except Exception:
+        return None
+
+
+def _pool_worker_main(slot: int, inbox, outbox, cancel_flags) -> None:
+    """Entry point of one pooled worker (module-level: survives fork)."""
+    from .process_backend import _WorkerLoop
+
+    _WorkerLoop(slot, outbox, cancel_flags).serve(inbox)
+
+
+class PersistentProcessPool:
+    """A reusable set of forked workers for the process backend.
+
+    Parameters
+    ----------
+    workers:
+        Pool size; defaults to ``os.cpu_count()``.
+    name:
+        Prefix for the worker process names (diagnostics).
+    """
+
+    def __init__(self, workers: Optional[int] = None,
+                 name: str = "fluid-pool"):
+        import multiprocessing
+
+        if workers is not None and workers < 1:
+            raise SchedulerError("need at least one worker process")
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise SchedulerError(
+                "persistent pools need the 'fork' start method "
+                "(POSIX only); use the thread backend on this platform")
+        self.workers = workers or (os.cpu_count() or 1)
+        self.name = name
+        self.context = multiprocessing.get_context("fork")
+        self.outbox = self.context.Queue()
+        # "q" (int64): the flag carries a dispatch_id (or -1 for all).
+        self.cancel_flags = self.context.Array("q", self.workers, lock=False)
+        #: Leasing executors alias these lists; respawn() mutates them
+        #: in place so the aliases observe replacements.
+        self.inboxes: List = []
+        self.processes: List = []
+        self._lease_lock = threading.Lock()
+        self._id_lock = threading.Lock()
+        self._next_id = 0
+        self._closed = False
+        for slot in range(self.workers):
+            inbox = self.context.Queue()
+            self.inboxes.append(inbox)
+            self.processes.append(self._make_process(slot, inbox))
+        # Fork only after every queue exists (same discipline as the
+        # single-shot executor): no feeder threads at fork time.
+        for process in self.processes:
+            process.start()
+
+    def _make_process(self, slot: int, inbox):
+        return self.context.Process(
+            target=_pool_worker_main,
+            args=(slot, inbox, self.outbox, self.cancel_flags),
+            name=f"{self.name}-{slot}", daemon=True)
+
+    # -- leasing -----------------------------------------------------------
+
+    def lease(self) -> "PersistentProcessPool":
+        """Block until this pool is exclusively ours; returns the pool."""
+        self._lease_lock.acquire()
+        if self._closed:
+            self._lease_lock.release()
+            raise SchedulerError("pool is closed")
+        return self
+
+    def release(self) -> None:
+        self._lease_lock.release()
+
+    def next_dispatch_id(self) -> int:
+        with self._id_lock:
+            self._next_id += 1
+            return self._next_id
+
+    # -- health ------------------------------------------------------------
+
+    def alive(self) -> List[bool]:
+        """Per-slot health snapshot (diagnostics/tests)."""
+        return [process.is_alive() for process in self.processes]
+
+    def respawn(self, slot: int) -> None:
+        """Replace one worker with a fresh process and a fresh inbox.
+
+        The old inbox is abandoned, not drained: items queued to the
+        dead worker must not replay on its replacement (the leasing
+        executor re-dispatches what it still needs, with new ids).
+        """
+        old = self.processes[slot]
+        if old.is_alive():
+            old.terminate()
+            old.join(timeout=1.0)
+            if old.is_alive():  # pragma: no cover - stubborn worker
+                old.kill()
+                old.join(timeout=1.0)
+        old_inbox = self.inboxes[slot]
+        try:
+            old_inbox.cancel_join_thread()
+            old_inbox.close()
+        except (ValueError, OSError):
+            pass  # already closed
+        inbox = self.context.Queue()
+        process = self._make_process(slot, inbox)
+        # In-place swap: leasing executors alias these lists.
+        self.inboxes[slot] = inbox
+        self.processes[slot] = process
+        process.start()
+
+    # -- teardown ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the workers down; safe to call more than once."""
+        if self._closed:
+            return
+        self._closed = True
+        for inbox in self.inboxes:
+            try:
+                inbox.put_nowait(None)
+            except (ValueError, OSError, queue_module.Full):
+                pass  # queue already closed/broken or worker gone
+            except Exception:
+                logger.exception("unexpected error sending pool shutdown")
+        self._join_all(self.processes, 0.5)
+        stragglers = [p for p in self.processes if p.is_alive()]
+        for process in stragglers:
+            process.terminate()
+        self._join_all(stragglers, 0.5)
+        stubborn = [p for p in stragglers if p.is_alive()]
+        for process in stubborn:  # pragma: no cover - stubborn worker
+            process.kill()
+        self._join_all(stubborn, 0.5)
+        for channel in self.inboxes + [self.outbox]:
+            try:
+                channel.cancel_join_thread()
+                channel.close()
+            except (ValueError, OSError):
+                pass  # already closed
+            except Exception:
+                logger.exception("unexpected error closing pool queue")
+
+    @staticmethod
+    def _join_all(processes, timeout: float) -> None:
+        deadline = time.perf_counter() + timeout
+        for process in processes:
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                return
+            process.join(timeout=remaining)
+
+    def __enter__(self) -> "PersistentProcessPool":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

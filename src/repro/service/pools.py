@@ -35,6 +35,12 @@ class OneShotPool:
     skipped, a running one finishes its executor run (the simulator
     cannot be interrupted mid-virtual-time; the process backend has its
     own timeout).
+
+    Process contexts whose regions all provide a picklable
+    ``remote_factory`` share one lazily-forked
+    :class:`~repro.runtime.worker_pool.PersistentProcessPool` instead
+    of forking a fresh worker set per request; fork-only regions keep
+    the historical per-request pool.
     """
 
     def __init__(self, backend: str, workers: int = 2,
@@ -55,6 +61,12 @@ class OneShotPool:
         self._epoch = time.perf_counter()
         self._lock = threading.Lock()
         self._closed = False
+        self.name = name
+        #: Lazily-forked persistent worker pool for process contexts
+        #: whose regions all carry a picklable ``remote_factory``; None
+        #: until the first such context (or forever, for sim / legacy
+        #: fork-only regions).
+        self._process_pool = None
 
     def now(self) -> float:
         return time.perf_counter() - self._epoch
@@ -76,8 +88,39 @@ class OneShotPool:
                 return
             self._closed = True
         self._dispatchers.shutdown(wait=True)
+        with self._lock:
+            pool, self._process_pool = self._process_pool, None
+        if pool is not None:
+            pool.close()
 
     # ------------------------------------------------------------ internal
+
+    def _acquire_pool(self, ctx: RunContext):
+        """Persistent worker pool for this context, or None for a fork.
+
+        Only process contexts whose regions *all* carry a picklable
+        ``remote_factory`` can ride the pool; anything else keeps the
+        historical fork-per-request executor.  The pool's exclusive
+        lease serializes concurrent process contexts — deliberate: the
+        pool is sized to the physical cores, and two forked pools
+        racing for them was oversubscription, not concurrency.
+        """
+        if self.backend != "process":
+            return None
+        from ..runtime.worker_pool import PersistentProcessPool, pool_blob
+
+        if not ctx.runs:
+            return None
+        if any(pool_blob(run.region) is None for run in ctx.runs):
+            return None
+        with self._lock:
+            if self._closed:
+                return None
+            if self._process_pool is None:
+                self._process_pool = PersistentProcessPool(
+                    workers=self.executor_options.get("workers"),
+                    name=f"fluid-{self.name}")
+            return self._process_pool
 
     def _run(self, ctx: RunContext) -> None:
         try:
@@ -91,6 +134,9 @@ class OneShotPool:
                 options.setdefault("modulation", ctx.modulation)
             if ctx.cancel_first_runs:
                 options.setdefault("cancel_first_runs", True)
+            pool = self._acquire_pool(ctx)
+            if pool is not None:
+                options["pool"] = pool
             executor = make_executor(self.backend, **options)
             for run in ctx.runs:
                 executor.submit(run.region, after=run.after)

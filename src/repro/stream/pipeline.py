@@ -448,20 +448,62 @@ class Pipeline:
             pool.shutdown()
             telemetry.run_finished(pool.now(), slots)
 
+    def _pool_config(self) -> Dict[str, Any]:
+        """Picklable constructor kwargs for :func:`_rebuild_window_region`.
+
+        Telemetry/autotune are deliberately excluded: a pool worker only
+        runs stage bodies; guard decisions (and their instrumentation)
+        stay in the parent.
+        """
+        return {"stages": self.stages, "k": self.k,
+                "capacity": self.capacity, "must": self.must,
+                "interarrival": self.interarrival,
+                "window": self.window, "name": self.name}
+
     def _run_process(self, items: List[Any], result: PipelineResult,
                      workers: int, timeout: float) -> None:
         from ..runtime import ProcessExecutor
+        from ..runtime.worker_pool import PersistentProcessPool, pool_blob
 
         states = result.states
-        for index, window_items in enumerate(self._windows(items)):
-            build = self.build_window(index, window_items, states)
-            executor = ProcessExecutor(workers=workers, timeout=timeout)
-            executor.submit(build.region)
-            run = executor.run()
-            # Stage bodies ran in forked workers whose telemetry bus is
-            # a fork of ours: per-item latencies are not observable here.
-            states = self._harvest(result, index, build, run.makespan,
-                                   {}, states)
+        config = self._pool_config()
+        pool = None
+        pool_viable = True
+        try:
+            for index, window_items in enumerate(self._windows(items)):
+                build = self.build_window(index, window_items, states)
+                options: Dict[str, Any] = {}
+                if pool_viable:
+                    # Windows are rebuilt inside pool workers from this
+                    # module-level factory; stage fns are documented as
+                    # fork-safe module-level callables, but a lambda
+                    # ``must`` or unpicklable stage state falls back to
+                    # the historical fork-per-window executor.
+                    build.region.remote_factory = (
+                        _rebuild_window_region,
+                        (config, index, list(window_items), list(states)),
+                        {})
+                    if pool_blob(build.region) is None:
+                        build.region.remote_factory = None
+                        pool_viable = False
+                    else:
+                        if pool is None:
+                            pool = PersistentProcessPool(
+                                workers=workers,
+                                name=f"{self.name}-pool")
+                        options["pool"] = pool
+                executor = ProcessExecutor(workers=workers, timeout=timeout,
+                                           **options)
+                executor.submit(build.region)
+                run = executor.run()
+                # Stage bodies ran in (pooled or forked) workers whose
+                # telemetry bus is not ours: per-item latencies are not
+                # observable here.
+                states = self._harvest(result, index, build, run.makespan,
+                                       {}, states)
+        finally:
+            if pool is not None:
+                pool.close()
 
     async def run_service(self, items: Iterable[Any], service, *,
                           sheddable: bool = False,
@@ -498,6 +540,23 @@ class Pipeline:
                                                    value)
             outputs[seq] = value
         return outputs
+
+
+def _rebuild_window_region(config: Dict[str, Any], index: int,
+                           items: List[Any], states: List[Any]) -> FluidRegion:
+    """Rebuild one window's region inside a pool worker.
+
+    ``build_window`` is deterministic given (index, items, entry
+    states), so the rebuilt region is structurally identical to the
+    parent's — same task/cell names and indices — which is all the
+    pooled wire protocol needs (the parent ships authoritative cell
+    snapshots at dispatch anyway).
+    """
+    pipeline = Pipeline(config["stages"], k=config["k"],
+                        capacity=config["capacity"], must=config["must"],
+                        interarrival=config["interarrival"],
+                        window=config["window"], name=config["name"])
+    return pipeline.build_window(index, list(items), list(states)).region
 
 
 def _stage_body(stage: Stage, qin: StageQueue, qout: StageQueue,

@@ -35,6 +35,8 @@ Counter catalogue
 ``process.dispatches``                    bodies dispatched to worker slots
 ``process.payload_cells_skipped``         dispatch cells elided (delta export)
 ``process.payload_rebinds``               apply_payload container rebinds
+``process.dispatch_batches``              batched worker round-trips sent
+``process.worker_respawns``               pooled workers respawned after a crash
 ``trace.dropped_events``                  ring-buffer drops in the Trace
 ``sched.picks``                           scheduler pick-next decisions
 ``sched.steals``                          work-stealing queue raids
@@ -88,6 +90,7 @@ COUNTER_CATALOGUE = (
     "process.payload_bytes_to_workers", "process.payload_bytes_from_workers",
     "process.payload_messages", "process.dispatches",
     "process.payload_cells_skipped", "process.payload_rebinds",
+    "process.dispatch_batches", "process.worker_respawns",
     "trace.dropped_events",
     "sched.picks", "sched.steals", "sched.tasks_shed",
     "sched.tasks_deferred",
@@ -109,6 +112,10 @@ RESIDENCE_BOUNDS = (1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0, 1e3, 1e4)
 #: Bucket boundaries for the stage-queue occupancy histogram: occupancy
 #: is a small item count (bounded by the queue capacity), not a latency.
 OCCUPANCY_BOUNDS = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+#: Bucket boundaries for the process backend's dispatch batch-size
+#: histogram: a task count bounded by the executor's ``batch_size``.
+BATCH_SIZE_BOUNDS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
 
 #: Guard completion reasons that count as Section-6.1 early termination.
 _EARLY_TERMINATION_REASONS = ("early-termination", "rerun-skipped")
@@ -380,11 +387,24 @@ class MetricsRegistry:
         slot = event.data.get("slot")
         if event.name == "dispatch":
             self.inc("process.dispatches")
+            # Batched dispatch emits one "dispatch" per task in the
+            # batch; the overwrite coarsens per-slot busy accounting to
+            # "since the last dispatch", which finalize() folds in.
             self._busy_since[slot] = event.ts
         elif event.name == "free":
             started = self._busy_since.pop(slot, None)
             if started is not None:
                 self._busy_total += event.ts - started
+        elif event.name == "batch":
+            # Lazily created so non-batching runs keep their historical
+            # histogram key set (same pattern as svc.latency).
+            self.inc("process.dispatch_batches")
+            self.histograms.setdefault(
+                "process.batch_size",
+                Histogram(BATCH_SIZE_BOUNDS)).observe(
+                    event.data.get("size", 1))
+        elif event.name == "respawn":
+            self.inc("process.worker_respawns")
 
     def record_scheduler(self, snapshot: Dict[str, Any]) -> None:
         """Fold a :meth:`repro.sched.Scheduler.snapshot` into the metrics.
